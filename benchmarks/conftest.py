@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures/tables (see DESIGN.md's
+per-experiment index) and *asserts the paper's qualitative claim* on the
+result, so ``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+run recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def figure8_graph():
+    from repro.workloads.topology import figure8_network
+
+    return figure8_network()
+
+
+@pytest.fixture(scope="session")
+def comparison_distribution():
+    from repro.workloads.distributions import random_distribution
+
+    return random_distribution(processes=6, variables=8, replicas_per_variable=3, seed=0)

@@ -1,0 +1,86 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* relay scope of the causal partial-replication protocol (``all`` /
+  ``relevant`` / ``own``) — the ``own`` scope is the "efficient" variant the
+  paper proves impossible and must lose causal consistency on hoop workloads;
+* FIFO vs non-FIFO channels for the PRAM protocol — correctness is preserved,
+  the non-FIFO variant pays for reorder buffering;
+* exact vs heuristic (bad-pattern only) consistency checking.
+"""
+
+import pytest
+
+from repro.core.consistency import get_checker
+from repro.mcs.system import MCSystem
+from repro.netsim.latency import UniformLatency
+from repro.workloads.access_patterns import run_script, single_writer_script, uniform_access_script
+from repro.workloads.distributions import chain_distribution, random_distribution
+from repro.workloads.random_history import random_history
+
+
+@pytest.mark.parametrize("relay_scope", ["all", "relevant", "own"])
+def test_causal_partial_relay_scope(benchmark, relay_scope):
+    distribution = chain_distribution(3, studied_variable="x")
+    script = uniform_access_script(distribution, operations_per_process=8,
+                                   write_fraction=0.6, seed=1)
+
+    def run():
+        system = MCSystem(distribution, protocol="causal_partial",
+                          protocol_options={"relay_scope": relay_scope})
+        run_script(system, script)
+        return system
+
+    system = benchmark.pedantic(run, rounds=2, iterations=1)
+    if relay_scope == "all":
+        # Correct, but some process ends up relaying control information about
+        # a variable it does not replicate (the paper's x-relevance).
+        assert any(
+            proc.relayed_variables() - proc.replicated_variables
+            for proc in system.processes.values()
+        )
+    if relay_scope == "own":
+        # The hypothetical "efficient" variant relays only information about
+        # its own variables — which is exactly why it cannot implement causal
+        # consistency in general (see the impossibility integration test).
+        assert all(
+            proc.relayed_variables() <= set(proc.replicated_variables)
+            for proc in system.processes.values()
+        )
+
+
+@pytest.mark.parametrize("fifo", [True, False])
+def test_pram_on_fifo_and_non_fifo_channels(benchmark, fifo):
+    distribution = random_distribution(processes=6, variables=8,
+                                       replicas_per_variable=3, seed=2)
+    script = single_writer_script(distribution, writes_per_variable=6,
+                                  reads_per_replica=6, seed=2)
+
+    def run():
+        system = MCSystem(distribution, protocol="pram_partial", fifo=fifo,
+                          latency=UniformLatency(0.2, 3.0, seed=4))
+        run_script(system, script)
+        return system
+
+    system = benchmark.pedantic(run, rounds=2, iterations=1)
+    checker = get_checker("pram")
+    assert checker.check(system.history(), read_from=system.read_from()).consistent
+    assert system.efficiency().irrelevant_messages == 0
+
+
+@pytest.mark.parametrize("exact", [True, False])
+def test_exact_vs_heuristic_checking(benchmark, exact):
+    histories = [random_history(processes=4, variables=3, operations=16, seed=s)
+                 for s in range(10)]
+    checker = get_checker("causal")
+
+    def run():
+        return [checker.check(h, exact=exact).consistent for h in histories]
+
+    verdicts = benchmark(run)
+    assert len(verdicts) == 10
+    if not exact:
+        # The heuristic can only err on the permissive side.
+        exact_verdicts = [checker.check(h, exact=True).consistent for h in histories]
+        for heuristic, precise in zip(verdicts, exact_verdicts):
+            if precise:
+                assert heuristic

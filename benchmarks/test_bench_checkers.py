@@ -1,0 +1,68 @@
+"""Benchmarks of the consistency-checking machinery itself.
+
+These measure the cost of the verification layer (the exact search with its
+greedy fast path) on protocol-sized histories — the practical price of
+"consistency benchmarks" when the substrate is a simulator rather than the
+authors' testbed.
+"""
+
+import pytest
+
+from repro.apps.bellman_ford import run_distributed_bellman_ford
+from repro.core.consistency import get_checker
+from repro.mcs.system import MCSystem
+from repro.workloads.access_patterns import run_script, uniform_access_script
+from repro.workloads.distributions import random_distribution
+from repro.workloads.topology import figure8_network
+
+
+@pytest.fixture(scope="module")
+def bellman_ford_history():
+    run = run_distributed_bellman_ford(figure8_network(), source=1)
+    return run.outcome.history, run.outcome.read_from
+
+
+@pytest.fixture(scope="module")
+def protocol_histories():
+    out = {}
+    for protocol in ("pram_partial", "causal_full"):
+        dist = random_distribution(processes=6, variables=8, replicas_per_variable=3, seed=1)
+        system = MCSystem(dist, protocol=protocol)
+        run_script(system, uniform_access_script(dist, operations_per_process=10, seed=1))
+        out[protocol] = (system.history(), system.read_from())
+    return out
+
+
+def test_pram_check_on_bellman_ford_history(benchmark, bellman_ford_history):
+    history, read_from = bellman_ford_history
+    checker = get_checker("pram")
+    result = benchmark(checker.check, history, read_from)
+    assert result.consistent
+
+
+def test_slow_check_on_bellman_ford_history(benchmark, bellman_ford_history):
+    history, read_from = bellman_ford_history
+    checker = get_checker("slow")
+    result = benchmark(checker.check, history, read_from)
+    assert result.consistent
+
+
+def test_pram_check_on_protocol_trace(benchmark, protocol_histories):
+    history, read_from = protocol_histories["pram_partial"]
+    result = benchmark(get_checker("pram").check, history, read_from)
+    assert result.consistent
+
+
+def test_causal_check_on_protocol_trace(benchmark, protocol_histories):
+    history, read_from = protocol_histories["causal_full"]
+    result = benchmark(get_checker("causal").check, history, read_from)
+    assert result.consistent
+
+
+def test_sequential_check_on_small_history(benchmark, protocol_histories):
+    # Sequential consistency checking is NP-hard; keep the instance small.
+    from repro.workloads.random_history import serial_history
+
+    history = serial_history(processes=4, variables=3, operations=24, seed=3)
+    result = benchmark(get_checker("sequential").check, history)
+    assert result.consistent

@@ -1,0 +1,57 @@
+"""Benchmarks regenerating Figures 1-6 (share graph, hoop, chain, histories).
+
+Each benchmark rebuilds and re-evaluates the paper object from scratch and
+asserts the paper's claim on the result.
+"""
+
+import pytest
+
+from repro.analysis.figures import (
+    figure1_share_graph,
+    figure2_hoop,
+    figure3_dependency_chain,
+    figure4_verdicts,
+    figure5_verdicts,
+    figure6_verdicts,
+)
+
+
+def test_figure1_share_graph(benchmark):
+    result = benchmark(figure1_share_graph)
+    assert result.matches
+    assert result.measured["C(x1)"] == (1, 2)
+    assert result.measured["C(x2)"] == (1, 3)
+
+
+def test_figure2_hoop(benchmark):
+    result = benchmark(figure2_hoop)
+    assert result.matches
+    assert result.measured["hoops_found"] >= 1
+    assert result.measured["intermediates_outside_clique"]
+
+
+def test_figure3_dependency_chain(benchmark):
+    result = benchmark(figure3_dependency_chain)
+    assert result.matches
+    assert result.measured["chain_found"]
+    assert result.measured["external_processes"] == (1, 2, 3)
+
+
+def test_figure4_lazy_causal_but_not_causal(benchmark):
+    result = benchmark(figure4_verdicts)
+    assert result.matches
+    assert result.measured["causal"] is False
+    assert result.measured["lazy_causal"] is True
+
+
+def test_figure5_not_lazy_causal(benchmark):
+    result = benchmark(figure5_verdicts)
+    assert result.matches
+    assert result.measured["lazy_causal"] is False
+    assert 2 in result.measured["external_chain_through"]
+
+
+def test_figure6_not_lazy_semi_causal(benchmark):
+    result = benchmark(figure6_verdicts)
+    assert result.matches
+    assert result.measured["lazy_semi_causal(strict variant)"] is False

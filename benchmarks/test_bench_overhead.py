@@ -1,0 +1,88 @@
+"""Benchmarks regenerating the efficiency comparison of Section 3.3.
+
+The paper argues (analytically) that causal consistency forces control
+information about a variable onto processes that do not replicate it, whereas
+PRAM does not.  These benchmarks replay the same workload over each protocol
+and assert the ordering of the measured control costs.
+"""
+
+import pytest
+
+from repro.analysis.overhead import (
+    protocol_comparison,
+    replication_degree_sweep,
+    run_protocol,
+    scaling_sweep,
+)
+from repro.workloads.access_patterns import uniform_access_script
+from repro.workloads.distributions import random_distribution
+
+
+@pytest.mark.parametrize("protocol", ["pram_partial", "causal_partial", "causal_full", "sequencer_sc"])
+def test_single_protocol_workload(benchmark, comparison_distribution, protocol):
+    script = uniform_access_script(comparison_distribution, operations_per_process=10,
+                                   write_fraction=0.6, seed=0)
+    run = benchmark.pedantic(
+        run_protocol, args=(comparison_distribution, protocol, script),
+        kwargs={"check_consistency": False}, rounds=3, iterations=1,
+    )
+    assert run.report.messages_sent > 0
+    if protocol == "pram_partial":
+        assert run.report.irrelevant_messages == 0
+
+
+def test_protocol_comparison_table(benchmark, comparison_distribution):
+    runs = benchmark.pedantic(
+        protocol_comparison,
+        kwargs={"distribution": comparison_distribution, "operations_per_process": 8,
+                "check_consistency": False},
+        rounds=2, iterations=1,
+    )
+    by_name = {r.protocol: r for r in runs}
+    pram = by_name["pram_partial"]
+    # The paper's qualitative claims:
+    #  - partial-replication PRAM never contacts a process about a variable it
+    #    does not replicate,
+    assert pram.report.irrelevant_messages == 0
+    assert pram.irrelevant_relevance_violations == 0
+    #  - full replication contacts every process about every variable,
+    assert by_name["causal_full"].report.irrelevant_messages > 0
+    #  - causal consistency needs (much) more control information per message
+    #    than PRAM, whatever the replication scheme.
+    assert by_name["causal_full"].report.control_bytes_per_message > \
+        pram.report.control_bytes_per_message
+    assert by_name["causal_partial"].report.control_bytes_per_message > \
+        pram.report.control_bytes_per_message
+
+
+def test_scaling_sweep(benchmark):
+    rows = benchmark.pedantic(
+        scaling_sweep,
+        kwargs={"process_counts": (4, 8, 12), "operations_per_process": 6,
+                "protocols": ("pram_partial", "causal_full")},
+        rounds=1, iterations=1,
+    )
+    pram = [r for r in rows if r["protocol"] == "pram_partial"]
+    causal = [r for r in rows if r["protocol"] == "causal_full"]
+    # Control bytes per message: flat for PRAM, growing with n for the
+    # vector-clock causal memory.
+    assert causal[-1]["ctrl_B/msg"] > causal[0]["ctrl_B/msg"]
+    assert abs(pram[-1]["ctrl_B/msg"] - pram[0]["ctrl_B/msg"]) < 8
+
+
+def test_replication_degree_sweep(benchmark):
+    rows = benchmark.pedantic(
+        replication_degree_sweep,
+        kwargs={"degrees": (2, 4, 6), "processes": 6, "variables": 8,
+                "operations_per_process": 6,
+                "protocols": ("pram_partial", "causal_full")},
+        rounds=1, iterations=1,
+    )
+    # Partial replication pays off while the degree is below the process count:
+    # the PRAM protocol sends fewer messages than the full-replication one.
+    for degree in (2, 4):
+        pram = next(r for r in rows if r["protocol"] == "pram_partial"
+                    and r["replication_degree"] == degree)
+        full = next(r for r in rows if r["protocol"] == "causal_full"
+                    and r["replication_degree"] == degree)
+        assert pram["messages"] < full["messages"]

@@ -1,0 +1,48 @@
+"""Benchmarks for the scalability argument of Section 3.3 (x-relevance growth)."""
+
+import pytest
+
+from repro.analysis.relevance_study import measure_distribution, relevance_sweep, structured_comparison
+from repro.core.share_graph import ShareGraph
+from repro.workloads.distributions import chain_distribution, disjoint_blocks, random_distribution
+
+
+def test_relevance_sweep(benchmark):
+    points = benchmark.pedantic(
+        relevance_sweep,
+        kwargs={"process_counts": (4, 6, 8), "samples": 3},
+        rounds=1, iterations=1,
+    )
+    # Even with only two replicas per variable, a large fraction of processes
+    # becomes x-relevant for some variable as soon as the share graph gets
+    # connected — the paper's "contradicts scalability" point.
+    assert points[-1].avg_relevance_fraction > 2.5 / points[-1].processes
+    assert points[-1].variables_with_hoops_fraction > 0.5
+
+
+def test_structured_distributions(benchmark):
+    rows = benchmark(structured_comparison, 8)
+    by_name = {r["distribution"]: r for r in rows}
+    assert by_name["disjoint blocks (hoop-free)"]["hoop_proc_frac"] == 0
+    assert by_name["chain / hoop"]["hoop_proc_frac"] > 0.5
+
+
+def test_hoop_detection_on_long_chain(benchmark):
+    dist = chain_distribution(30, studied_variable="x")
+
+    def run():
+        share = ShareGraph(dist)
+        return share.hoop_processes("x")
+
+    hoop_processes = benchmark(run)
+    assert len(hoop_processes) == 30
+
+
+def test_relevance_on_dense_random_distribution(benchmark):
+    dist = random_distribution(processes=16, variables=32, replicas_per_variable=4, seed=3)
+
+    def run():
+        return measure_distribution(ShareGraph(dist))
+
+    metrics = benchmark(run)
+    assert 0 < metrics["avg_relevance_fraction"] <= 1

@@ -1,0 +1,45 @@
+"""Benchmarks regenerating Theorem 1 and Theorem 2 (the paper's two results)."""
+
+import pytest
+
+from repro.analysis.figures import theorem1_reproduction, theorem2_reproduction
+from repro.core.relevance import verify_theorem1
+from repro.core.share_graph import ShareGraph
+from repro.workloads.distributions import chain_distribution, random_distribution
+
+
+def test_theorem1_on_paper_distributions(benchmark):
+    result = benchmark(theorem1_reproduction)
+    assert result.matches
+
+
+def test_theorem1_on_random_distributions(benchmark):
+    def run():
+        reports = []
+        for seed in range(3):
+            dist = random_distribution(processes=6, variables=6,
+                                       replicas_per_variable=2, seed=seed)
+            reports.append(verify_theorem1(dist, dist.variables[0]))
+        return reports
+
+    reports = benchmark(run)
+    assert all(report.holds for report in reports)
+
+
+def test_theorem1_characterisation_scales(benchmark):
+    dist = random_distribution(processes=20, variables=40, replicas_per_variable=3, seed=7)
+
+    def run():
+        share = ShareGraph(dist)
+        return {var: share.relevant_processes(var) for var in share.variables}
+
+    relevant = benchmark(run)
+    assert len(relevant) == 40
+    assert all(dist.holders(var) <= procs for var, procs in relevant.items())
+
+
+def test_theorem2_pram_runs_create_no_hoop_chains(benchmark):
+    result = benchmark(theorem2_reproduction)
+    assert result.matches
+    assert result.measured["external_chains"] == 0
+    assert result.measured["internal_chains"] > 0

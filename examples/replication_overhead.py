@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quantifying the efficiency argument of Section 3.3.
+
+The same scripted workload is replayed over the four MCS protocols and the
+control-information profile of each run is tabulated; a second sweep grows the
+number of processes to show how the causal protocols' control cost scales
+while the partial-replication PRAM protocol stays constant per message.
+
+Run with ``python examples/replication_overhead.py``.
+"""
+
+from repro.analysis.overhead import (
+    comparison_table,
+    protocol_comparison,
+    replication_degree_sweep,
+    scaling_sweep,
+)
+from repro.analysis.relevance_study import relevance_sweep, relevance_table, structured_comparison
+from repro.analysis.report import render_table
+
+
+def main() -> None:
+    print("Protocol comparison on one workload "
+          "(6 processes, 8 variables, 3 replicas per variable)")
+    runs = protocol_comparison(operations_per_process=10, seed=2)
+    print(comparison_table(runs))
+    print()
+
+    print("Scaling sweep: control bytes per message vs number of processes")
+    rows = scaling_sweep(process_counts=(4, 8, 12), operations_per_process=6)
+    print(render_table(rows, columns=["n_processes", "protocol", "messages",
+                                      "control_B", "ctrl_B/msg", "irrelevant_msgs"]))
+    print()
+
+    print("Replication-degree sweep (6 processes, 8 variables)")
+    rows = replication_degree_sweep(degrees=(1, 2, 4, 6), operations_per_process=6)
+    print(render_table(rows, columns=["replication_degree", "protocol", "messages",
+                                      "control_B", "irrelevant_msgs"]))
+    print()
+
+    print("How quickly does a variable become everyone's business? "
+          "(x-relevance, Theorem 1)")
+    print(relevance_table(relevance_sweep(process_counts=(4, 6, 8, 10), samples=3)))
+    print()
+    print(render_table(structured_comparison(processes=8),
+                       title="Structured distributions"))
+
+
+if __name__ == "__main__":
+    main()

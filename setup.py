@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` (and ``python setup.py develop`` on offline
+machines without the ``wheel`` package) works alongside ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro — reproduction of Hélary & Milani, *About the efficiency of partial
+replication to implement Distributed Shared Memory* (IRISA PI-1727 / ICPP 2006).
+
+The package is organised bottom-up:
+
+* :mod:`repro.core` — the paper's formal machinery: operations, histories,
+  order relations, consistency checkers, the share graph / hoop /
+  dependency-chain apparatus and the mechanised Theorem 1 and 2 checks;
+* :mod:`repro.netsim` — a deterministic discrete-event message-passing
+  substrate with message/byte accounting;
+* :mod:`repro.mcs` — Memory Consistency System protocols: full-replication
+  causal memory, partial-replication causal memory, partial-replication PRAM
+  memory and a sequencer-based sequentially consistent baseline;
+* :mod:`repro.dsm` — the application-facing distributed shared memory:
+  variable distributions, generator-based application programs and the
+  runtime scheduling them over the simulator;
+* :mod:`repro.apps` — the paper's Bellman-Ford case study and further
+  oblivious computations (matrix product, asynchronous Jacobi);
+* :mod:`repro.workloads` — history, distribution and topology generators;
+* :mod:`repro.analysis` — the reproduction harness: every figure and theorem
+  of the paper, plus the quantitative control-overhead studies.
+
+Quickstart::
+
+    from repro import DistributedSharedMemory, VariableDistribution
+
+    dist = VariableDistribution({0: {"x"}, 1: {"x", "y"}, 2: {"y"}})
+    dsm = DistributedSharedMemory(dist, protocol="pram_partial")
+
+See ``examples/`` for runnable end-to-end scenarios.
+"""
+
+from .core import (
+    BOTTOM,
+    History,
+    HistoryBuilder,
+    Hoop,
+    Operation,
+    OpKind,
+    ShareGraph,
+    VariableDistribution,
+    verify_theorem1,
+    verify_theorem2,
+    witness_history,
+)
+from .core.consistency import all_checkers, get_checker
+from .dsm import DistributedSharedMemory, DSMRuntime, ProcessContext, RunOutcome
+from .mcs import MCSystem, PROTOCOLS
+from .version import __version__
+
+__all__ = [
+    "BOTTOM",
+    "DSMRuntime",
+    "DistributedSharedMemory",
+    "History",
+    "HistoryBuilder",
+    "Hoop",
+    "MCSystem",
+    "OpKind",
+    "Operation",
+    "PROTOCOLS",
+    "ProcessContext",
+    "RunOutcome",
+    "ShareGraph",
+    "VariableDistribution",
+    "__version__",
+    "all_checkers",
+    "get_checker",
+    "verify_theorem1",
+    "verify_theorem2",
+    "witness_history",
+]

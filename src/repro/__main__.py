@@ -1,0 +1,6 @@
+"""``python -m repro`` — command-line access to the reproduction harness."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,181 @@
+"""Control-information overhead experiments (paper, Section 3.3).
+
+The paper's efficiency argument is qualitative: under causal consistency and
+partial replication, control information about a variable must reach processes
+that do not replicate it, whereas under PRAM it need not.  These experiments
+make the argument quantitative on the simulated protocols:
+
+* :func:`protocol_comparison` — same scripted workload replayed over every
+  protocol, reporting messages, payload/control bytes, control bytes per
+  message and the number of messages received by processes about variables
+  they do not replicate;
+* :func:`scaling_sweep` — the same comparison swept over the number of
+  processes (or variables, or replication degree), exposing how the causal
+  protocols' control cost grows with system size while the PRAM protocol's
+  stays constant per message;
+* :func:`consistency_check_rows` — for each protocol run, the verdict of the
+  checker of the criterion the protocol claims to implement (the correctness
+  side of the efficiency/correctness trade-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.consistency import get_checker
+from ..core.distribution import VariableDistribution
+from ..mcs.metrics import EfficiencyReport, relevance_violations
+from ..mcs.system import PROTOCOL_CRITERION, MCSystem
+from ..workloads.access_patterns import Access, run_script, single_writer_script, uniform_access_script
+from ..workloads.distributions import random_distribution
+from .report import render_table
+
+#: The protocol line-up compared throughout the overhead experiments.
+DEFAULT_PROTOCOLS: Sequence[str] = (
+    "pram_partial",
+    "causal_partial",
+    "causal_full",
+    "sequencer_sc",
+)
+
+
+@dataclass
+class ProtocolRun:
+    """One protocol executed on one workload."""
+
+    protocol: str
+    report: EfficiencyReport
+    consistent: Optional[bool]
+    criterion: str
+    irrelevant_relevance_violations: int
+
+    def as_row(self) -> Dict[str, object]:
+        row = self.report.as_row()
+        row["criterion"] = self.criterion
+        row["criterion_ok"] = self.consistent if self.consistent is not None else "n/a"
+        row["beyond_theorem1"] = self.irrelevant_relevance_violations
+        return row
+
+
+def run_protocol(
+    distribution: VariableDistribution,
+    protocol: str,
+    script: Sequence[Access],
+    check_consistency: bool = True,
+    protocol_options: Optional[Dict[str, object]] = None,
+) -> ProtocolRun:
+    """Replay ``script`` over ``protocol`` and collect efficiency + correctness."""
+    system = MCSystem(distribution, protocol=protocol, protocol_options=protocol_options)
+    run_script(system, script)
+    report = system.efficiency()
+    criterion = PROTOCOL_CRITERION[protocol]
+    consistent: Optional[bool] = None
+    if check_consistency:
+        history = system.history()
+        checker = get_checker(criterion)
+        consistent = checker.check(history, read_from=system.read_from()).consistent
+    violations = relevance_violations(report, distribution)
+    return ProtocolRun(
+        protocol=protocol,
+        report=report,
+        consistent=consistent,
+        criterion=criterion,
+        irrelevant_relevance_violations=sum(len(v) for v in violations.values()),
+    )
+
+
+def protocol_comparison(
+    distribution: Optional[VariableDistribution] = None,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    operations_per_process: int = 12,
+    write_fraction: float = 0.6,
+    seed: int = 0,
+    check_consistency: bool = True,
+    single_writer: bool = False,
+) -> List[ProtocolRun]:
+    """Compare protocols on the same workload over the same distribution."""
+    if distribution is None:
+        distribution = random_distribution(processes=6, variables=8,
+                                           replicas_per_variable=3, seed=seed)
+    if single_writer:
+        script = single_writer_script(distribution, writes_per_variable=operations_per_process,
+                                      reads_per_replica=operations_per_process, seed=seed)
+    else:
+        script = uniform_access_script(distribution, operations_per_process=operations_per_process,
+                                       write_fraction=write_fraction, seed=seed)
+    return [
+        run_protocol(distribution, protocol, script, check_consistency=check_consistency)
+        for protocol in protocols
+    ]
+
+
+def comparison_table(runs: Iterable[ProtocolRun], title: str = "Protocol comparison") -> str:
+    """Plain-text table of a protocol comparison."""
+    return render_table([run.as_row() for run in runs], title=title)
+
+
+def scaling_sweep(
+    process_counts: Sequence[int] = (4, 8, 12, 16),
+    variables_per_process: int = 2,
+    replicas_per_variable: int = 2,
+    operations_per_process: int = 8,
+    protocols: Sequence[str] = ("pram_partial", "causal_partial", "causal_full"),
+    seed: int = 0,
+    check_consistency: bool = False,
+) -> List[Dict[str, object]]:
+    """Sweep the number of processes and report per-protocol control costs.
+
+    The key series is ``ctrl_B/msg`` (control bytes per message): constant for
+    the PRAM partial protocol, growing roughly linearly with the number of
+    processes for the vector-clock causal protocol and with the causal past
+    for the dependency-list causal protocol — the scalability contrast of
+    Section 3.3.
+    """
+    rows: List[Dict[str, object]] = []
+    for n in process_counts:
+        distribution = random_distribution(
+            processes=n,
+            variables=n * variables_per_process,
+            replicas_per_variable=min(replicas_per_variable, n),
+            seed=seed + n,
+        )
+        script = uniform_access_script(
+            distribution, operations_per_process=operations_per_process,
+            write_fraction=0.6, seed=seed + n,
+        )
+        for protocol in protocols:
+            run = run_protocol(distribution, protocol, script,
+                               check_consistency=check_consistency)
+            row = run.as_row()
+            row["n_processes"] = n
+            rows.append(row)
+    return rows
+
+
+def replication_degree_sweep(
+    degrees: Sequence[int] = (1, 2, 3, 4, 6),
+    processes: int = 6,
+    variables: int = 8,
+    operations_per_process: int = 8,
+    protocols: Sequence[str] = ("pram_partial", "causal_partial", "causal_full"),
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Sweep the replication degree: partial replication pays off while degree << n."""
+    rows: List[Dict[str, object]] = []
+    for degree in degrees:
+        degree = min(degree, processes)
+        distribution = random_distribution(
+            processes=processes, variables=variables,
+            replicas_per_variable=degree, seed=seed + degree,
+        )
+        script = uniform_access_script(
+            distribution, operations_per_process=operations_per_process,
+            write_fraction=0.6, seed=seed + degree,
+        )
+        for protocol in protocols:
+            run = run_protocol(distribution, protocol, script, check_consistency=False)
+            row = run.as_row()
+            row["replication_degree"] = degree
+            rows.append(row)
+    return rows

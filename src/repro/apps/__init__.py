@@ -1,0 +1,36 @@
+"""Applications running on the distributed shared memory (paper, Section 6)."""
+
+from .bellman_ford import (
+    BellmanFordRun,
+    bellman_ford_distribution,
+    distance_variable,
+    minimum_path_program,
+    round_variable,
+    run_distributed_bellman_ford,
+)
+from .jacobi import JacobiRun, jacobi_distribution, run_distributed_jacobi
+from .matrix_product import (
+    MatrixProductRun,
+    matrix_product_distribution,
+    run_distributed_matrix_product,
+)
+from .reference import bellman_ford, bellman_ford_steps, dijkstra, shortest_path_tree
+
+__all__ = [
+    "BellmanFordRun",
+    "JacobiRun",
+    "MatrixProductRun",
+    "bellman_ford",
+    "bellman_ford_distribution",
+    "bellman_ford_steps",
+    "dijkstra",
+    "distance_variable",
+    "jacobi_distribution",
+    "matrix_product_distribution",
+    "minimum_path_program",
+    "round_variable",
+    "run_distributed_bellman_ford",
+    "run_distributed_jacobi",
+    "run_distributed_matrix_product",
+    "shortest_path_tree",
+]

@@ -1,0 +1,109 @@
+"""Distributed matrix product over PRAM shared memory.
+
+Lipton & Sandberg's original PRAM report [13] — cited by the paper in
+Section 5 — lists matrix product among the *oblivious computations* that run
+correctly on a PRAM memory: the data movement does not depend on the data
+values, and every shared variable has a single writer, so per-writer program
+order is all the synchronisation the computation needs.
+
+The implementation partitions the rows of ``A`` over the application
+processes; process 0 additionally publishes ``B``.  Every process owns (and is
+the only writer of) the variables holding its row block of ``A`` and of the
+result ``C``; it replicates ``B`` and nothing else — another naturally partial
+distribution.  Results are validated against ``numpy.matmul``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.distribution import VariableDistribution
+from ..core.operations import BOTTOM
+from ..dsm.memory import DistributedSharedMemory, RunOutcome
+from ..dsm.program import ProcessContext, ProgramFn
+
+
+def _rows_of(process: int, rows: int, workers: int) -> range:
+    """Contiguous block of row indices assigned to ``process``."""
+    base = rows // workers
+    extra = rows % workers
+    start = process * base + min(process, extra)
+    count = base + (1 if process < extra else 0)
+    return range(start, start + count)
+
+
+def matrix_product_distribution(workers: int) -> VariableDistribution:
+    """Each worker holds its ``A``/``C`` blocks plus the shared ``B``."""
+    per_process: Dict[int, set] = {}
+    for pid in range(workers):
+        per_process[pid] = {f"A{pid}", f"C{pid}", "B"}
+    return VariableDistribution(per_process)
+
+
+def _matrix_to_value(matrix: np.ndarray) -> Tuple[Tuple[float, ...], ...]:
+    """Encode a matrix block as a hashable nested tuple (shared-memory value)."""
+    return tuple(tuple(float(x) for x in row) for row in np.atleast_2d(matrix))
+
+
+def _value_to_matrix(value) -> np.ndarray:
+    return np.array(value, dtype=float)
+
+
+def worker_program(pid: int, a_block: np.ndarray, publishes_b: Optional[np.ndarray]) -> ProgramFn:
+    """The program of one worker: publish blocks, wait for ``B``, multiply."""
+
+    def program(ctx: ProcessContext):
+        ctx.write(f"A{pid}", _matrix_to_value(a_block))
+        if publishes_b is not None:
+            ctx.write("B", _matrix_to_value(publishes_b))
+        while ctx.read("B") is BOTTOM:
+            yield
+        b = _value_to_matrix(ctx.read("B"))
+        block = _value_to_matrix(ctx.read(f"A{pid}")) @ b
+        ctx.write(f"C{pid}", _matrix_to_value(block))
+        return _matrix_to_value(block)
+
+    return program
+
+
+@dataclass
+class MatrixProductRun:
+    """Outcome of a distributed matrix product."""
+
+    result: np.ndarray
+    expected: np.ndarray
+    correct: bool
+    outcome: RunOutcome
+
+
+def run_distributed_matrix_product(
+    a: np.ndarray,
+    b: np.ndarray,
+    workers: int = 4,
+    protocol: str = "pram_partial",
+) -> MatrixProductRun:
+    """Compute ``A @ B`` with ``workers`` DSM processes and validate the result."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("incompatible matrix shapes")
+    workers = max(1, min(workers, a.shape[0]))
+    distribution = matrix_product_distribution(workers)
+    dsm = DistributedSharedMemory(distribution, protocol=protocol)
+    programs: Dict[int, ProgramFn] = {}
+    for pid in range(workers):
+        rows = _rows_of(pid, a.shape[0], workers)
+        block = a[rows.start:rows.stop, :]
+        programs[pid] = worker_program(pid, block, b if pid == 0 else None)
+    outcome = dsm.run(programs)
+    blocks = [
+        _value_to_matrix(outcome.results[pid])
+        for pid in range(workers)
+    ]
+    result = np.vstack(blocks)
+    expected = a @ b
+    correct = bool(np.allclose(result, expected))
+    return MatrixProductRun(result=result, expected=expected, correct=correct, outcome=outcome)

@@ -1,0 +1,100 @@
+"""Reference (centralised) shortest-path algorithms.
+
+The paper motivates the case study with the two classical least-cost routing
+algorithms, Bellman-Ford and Dijkstra [6].  The centralised implementations
+below provide the ground truth the distributed DSM-based run is validated
+against, and serve as the sequential baselines in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..workloads.topology import INFINITY, WeightedDigraph
+
+
+def bellman_ford(graph: WeightedDigraph, source: int) -> Dict[int, float]:
+    """Centralised synchronous Bellman-Ford (the paper's Section 6 recurrence).
+
+    ``x_i^{k+1} = min_{j ∈ Γ^{-1}(i) ∪ {i}} (x_j^k + w(j, i))`` for ``N``
+    steps (``w(i, i) = 0`` makes the own value carry over).  Returns the
+    least-cost distance from ``source`` to every node.
+    """
+    nodes = graph.nodes
+    if source not in nodes:
+        raise ValueError(f"source {source} is not a node of the graph")
+    dist: Dict[int, float] = {node: INFINITY for node in nodes}
+    dist[source] = 0.0
+    for _ in range(len(nodes)):
+        new_dist: Dict[int, float] = {}
+        for node in nodes:
+            if node == source:
+                new_dist[node] = 0.0
+                continue
+            candidates = [dist[node]]
+            for pred in graph.predecessors(node):
+                candidates.append(dist[pred] + graph.weight(pred, node))
+            new_dist[node] = min(candidates)
+        dist = new_dist
+    return dist
+
+
+def bellman_ford_steps(graph: WeightedDigraph, source: int) -> List[Dict[int, float]]:
+    """Every intermediate estimate vector ``x^k`` of the synchronous iteration.
+
+    Used by the Figure 9 reproduction, which tabulates the per-step values
+    computed by each process.
+    """
+    nodes = graph.nodes
+    dist: Dict[int, float] = {node: INFINITY for node in nodes}
+    dist[source] = 0.0
+    steps = [dict(dist)]
+    for _ in range(len(nodes)):
+        new_dist: Dict[int, float] = {}
+        for node in nodes:
+            if node == source:
+                new_dist[node] = 0.0
+                continue
+            candidates = [dist[node]]
+            for pred in graph.predecessors(node):
+                candidates.append(dist[pred] + graph.weight(pred, node))
+            new_dist[node] = min(candidates)
+        dist = new_dist
+        steps.append(dict(dist))
+    return steps
+
+
+def dijkstra(graph: WeightedDigraph, source: int) -> Dict[int, float]:
+    """Dijkstra's algorithm (binary heap), the other classical routing baseline."""
+    if source not in graph.nodes:
+        raise ValueError(f"source {source} is not a node of the graph")
+    dist: Dict[int, float] = {node: INFINITY for node in graph.nodes}
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    done = set()
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for succ in graph.successors(node):
+            candidate = d + graph.weight(node, succ)
+            if candidate < dist[succ]:
+                dist[succ] = candidate
+                heapq.heappush(heap, (candidate, succ))
+    return dist
+
+
+def shortest_path_tree(graph: WeightedDigraph, source: int) -> Dict[int, Optional[int]]:
+    """Predecessor tree of the shortest paths (ties broken by node id)."""
+    dist = dijkstra(graph, source)
+    parent: Dict[int, Optional[int]] = {source: None}
+    for node in graph.nodes:
+        if node == source or dist[node] == INFINITY:
+            continue
+        for pred in sorted(graph.predecessors(node)):
+            if dist[pred] + graph.weight(pred, node) == dist[node]:
+                parent[node] = pred
+                break
+    return parent

@@ -1,0 +1,142 @@
+"""Command-line interface of the reproduction.
+
+``python -m repro <command>`` exposes the main entry points without writing
+any Python:
+
+``reproduce``
+    Re-evaluate every figure and theorem of the paper and print the
+    claim/measured/match summary table.
+``overhead``
+    Replay the Section 3.3 efficiency workload over every protocol and print
+    the control-information comparison table.
+``bellman-ford``
+    Run the Section 6 case study on the Figure 8 network (or a random network
+    of a given size) and print the routing table plus the run's cost profile.
+``relevance``
+    Print the x-relevance scalability study (Theorem 1 at scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .analysis.figures import all_reproductions
+    from .analysis.report import render_table
+
+    results = all_reproductions()
+    print(render_table([r.as_row() for r in results],
+                       columns=["id", "title", "paper", "measured", "match"],
+                       title="Paper reproduction summary"))
+    failures = [r.figure_id for r in results if not r.matches]
+    if failures:
+        print(f"\nMISMATCHES: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"\nAll {len(results)} reproductions match the paper's claims.")
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from .analysis.overhead import comparison_table, protocol_comparison, scaling_sweep
+    from .analysis.report import render_table
+
+    runs = protocol_comparison(operations_per_process=args.operations, seed=args.seed)
+    print(comparison_table(runs, title="Protocol comparison (same workload)"))
+    if args.sweep:
+        rows = scaling_sweep(process_counts=tuple(args.sweep),
+                             operations_per_process=args.operations)
+        print()
+        print(render_table(rows, columns=["n_processes", "protocol", "messages",
+                                          "control_B", "ctrl_B/msg", "irrelevant_msgs"],
+                           title="Scaling sweep"))
+    return 0
+
+
+def _cmd_bellman_ford(args: argparse.Namespace) -> int:
+    from .analysis.report import render_table
+    from .apps.bellman_ford import run_distributed_bellman_ford
+    from .workloads.topology import figure8_network, random_network
+
+    if args.nodes:
+        graph = random_network(nodes=args.nodes, extra_edges=args.nodes, seed=args.seed)
+        label = f"random {args.nodes}-node network"
+    else:
+        graph = figure8_network()
+        label = "Figure 8 network"
+    run = run_distributed_bellman_ford(graph, source=args.source, protocol=args.protocol)
+    rows = [{"node": node,
+             "distributed": run.distances[node],
+             "reference": run.reference[node]}
+            for node in graph.nodes]
+    print(render_table(rows, title=f"Least-cost routes on the {label}"))
+    efficiency = run.outcome.efficiency
+    print(f"matches reference            : {run.correct}")
+    print(f"messages exchanged           : {efficiency.messages_sent}")
+    print(f"control bytes                : {efficiency.control_bytes}")
+    print(f"messages to non-replicas     : {efficiency.irrelevant_messages}")
+    return 0 if run.correct else 1
+
+
+def _cmd_relevance(args: argparse.Namespace) -> int:
+    from .analysis.relevance_study import relevance_sweep, relevance_table, structured_comparison
+    from .analysis.report import render_table
+
+    points = relevance_sweep(process_counts=tuple(args.processes), samples=args.samples)
+    print(relevance_table(points))
+    print()
+    print(render_table(structured_comparison(processes=max(args.processes)),
+                       title="Structured distributions"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Hélary & Milani, 'About the efficiency of "
+                    "partial replication to implement Distributed Shared Memory'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("reproduce", help="re-evaluate every figure and theorem")
+
+    overhead = sub.add_parser("overhead", help="Section 3.3 efficiency comparison")
+    overhead.add_argument("--operations", type=int, default=10,
+                          help="operations per process in the workload")
+    overhead.add_argument("--seed", type=int, default=0)
+    overhead.add_argument("--sweep", type=int, nargs="*", default=None,
+                          help="also run the scaling sweep over these process counts")
+
+    bellman = sub.add_parser("bellman-ford", help="Section 6 case study")
+    bellman.add_argument("--nodes", type=int, default=None,
+                         help="use a random network of this size instead of Figure 8")
+    bellman.add_argument("--source", type=int, default=1)
+    bellman.add_argument("--seed", type=int, default=0)
+    bellman.add_argument("--protocol", default="pram_partial",
+                         choices=["pram_partial", "causal_partial", "causal_full"])
+
+    relevance = sub.add_parser("relevance", help="x-relevance scalability study")
+    relevance.add_argument("--processes", type=int, nargs="*", default=[4, 6, 8])
+    relevance.add_argument("--samples", type=int, default=3)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "reproduce": _cmd_reproduce,
+        "overhead": _cmd_overhead,
+        "bellman-ford": _cmd_bellman_ford,
+        "relevance": _cmd_relevance,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Core shared-memory model: the paper's formal machinery (Sections 2-5).
+
+This subpackage is self-contained (no simulation involved): operations,
+histories, order relations, serializations, consistency checkers, the share
+graph / hoop / dependency-chain apparatus and the mechanised Theorem 1 and 2
+checks.
+"""
+
+from .dependency import (
+    DependencyChain,
+    external_chain_processes,
+    find_dependency_chains,
+    generating_relation,
+    has_external_chain,
+)
+from .distribution import VariableDistribution
+from .history import History, HistoryBuilder, LocalHistory
+from .operations import BOTTOM, Operation, OpKind
+from .orders import (
+    Relation,
+    causal_order,
+    full_program_order,
+    lazy_causal_order,
+    lazy_program_order,
+    lazy_semi_causal_order,
+    lazy_writes_before,
+    pram_relation,
+    program_order,
+    read_from_order,
+    slow_relation,
+)
+from .relevance import (
+    Theorem1Report,
+    Theorem2Report,
+    relevance_summary,
+    verify_theorem1,
+    verify_theorem2,
+    witness_history,
+)
+from .serialization import (
+    SerializationProblem,
+    find_serialization,
+    is_legal_serialization,
+    respects,
+)
+from .share_graph import Hoop, ShareGraph
+
+__all__ = [
+    "BOTTOM",
+    "DependencyChain",
+    "History",
+    "HistoryBuilder",
+    "Hoop",
+    "LocalHistory",
+    "OpKind",
+    "Operation",
+    "Relation",
+    "SerializationProblem",
+    "ShareGraph",
+    "Theorem1Report",
+    "Theorem2Report",
+    "VariableDistribution",
+    "causal_order",
+    "external_chain_processes",
+    "find_dependency_chains",
+    "find_serialization",
+    "full_program_order",
+    "generating_relation",
+    "has_external_chain",
+    "is_legal_serialization",
+    "lazy_causal_order",
+    "lazy_program_order",
+    "lazy_semi_causal_order",
+    "lazy_writes_before",
+    "pram_relation",
+    "program_order",
+    "read_from_order",
+    "relevance_summary",
+    "respects",
+    "slow_relation",
+    "verify_theorem1",
+    "verify_theorem2",
+    "witness_history",
+]

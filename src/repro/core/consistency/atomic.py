@@ -1,0 +1,71 @@
+"""Atomic consistency (linearizability) checker (Lamport [12]).
+
+Atomic consistency strengthens sequential consistency with a *real-time*
+requirement: if operation ``o1`` completes before operation ``o2`` is invoked
+(in real time), then ``o1`` must precede ``o2`` in the single global
+serialization.  Abstract paper histories carry no real time, so the checker
+uses the optional ``invoked_at`` / ``completed_at`` timestamps that the
+simulation layer attaches to recorded operations.  When no operation carries
+timestamps the real-time order is empty and the criterion degenerates to
+sequential consistency (which is the standard convention).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..history import History
+from ..operations import Operation
+from ..orders import Relation, full_program_order
+from ..serialization import SerializationProblem
+from .base import CheckResult, ConsistencyChecker, ReadFrom
+
+
+def real_time_order(history: History) -> Relation:
+    """The real-time precedence relation derived from operation timestamps.
+
+    ``o1 -> o2`` when ``o1.completed_at < o2.invoked_at`` (both present).
+    """
+    rel = Relation(history.operations, "real-time")
+    timed = [op for op in history.operations if op.completed_at is not None]
+    for o1 in timed:
+        for o2 in history.operations:
+            if o2.invoked_at is None or o1 is o2:
+                continue
+            if o1.completed_at < o2.invoked_at:
+                rel.add(o1, o2)
+    return rel
+
+
+class AtomicChecker(ConsistencyChecker):
+    """Atomic (linearizable) consistency: sequential + real-time order."""
+
+    name = "atomic"
+
+    def check(
+        self,
+        history: History,
+        read_from: Optional[ReadFrom] = None,
+        exact: bool = True,
+    ) -> CheckResult:
+        rf = history.read_from() if read_from is None else read_from
+        relation = full_program_order(history).union(real_time_order(history), name="atomic")
+        problem = SerializationProblem(history.operations, relation, rf)
+        result = CheckResult(criterion=self.name, consistent=True, exact=exact)
+        violations = problem.quick_violations()
+        if violations:
+            result.consistent = False
+            result.exact = True
+            result.violations.extend(violations)
+            return result
+        if not exact:
+            return result
+        witness = problem.solve()
+        if witness is None:
+            result.consistent = False
+            result.violations.append(
+                "no legal global serialization respects program order and real time"
+            )
+        else:
+            result.serializations[-1] = witness
+        return result

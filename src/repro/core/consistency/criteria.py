@@ -1,0 +1,72 @@
+"""Concrete per-process consistency checkers (paper, Definitions 2, 7, 10, 12).
+
+Each checker instantiates :class:`~repro.core.consistency.base.PerProcessChecker`
+with the relation of the corresponding criterion:
+
+* :class:`CausalChecker` — causality order ``->_co`` (Ahamad et al. [3]).
+* :class:`LazyCausalChecker` — lazy causality ``->_lco`` (Definition 6/7).
+* :class:`LazySemiCausalChecker` — lazy semi-causality ``->_lsc`` (Definition 9/10).
+* :class:`PRAMChecker` — the PRAM relation ``->_pram`` (Definition 11/12,
+  Lipton & Sandberg [13]).
+* :class:`SlowChecker` — the slow-memory relation (Sinha [16]), weaker than PRAM.
+
+The strength ordering (causal ⊃ lazy causal ⊃ lazy semi-causal ⊃ PRAM ⊃ slow,
+where "⊃" reads "admits fewer histories than") is verified by the property
+tests in ``tests/core/test_consistency_hierarchy.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..history import History
+from ..orders import (
+    causal_order,
+    lazy_causal_order,
+    lazy_semi_causal_order,
+    pram_generating_order,
+    slow_relation,
+)
+from .base import PerProcessChecker, ReadFrom
+
+
+class CausalChecker(PerProcessChecker):
+    """Causal consistency (paper, Definition 2)."""
+
+    def __init__(self) -> None:
+        super().__init__(causal_order, "causal")
+
+
+class LazyCausalChecker(PerProcessChecker):
+    """Lazy causal consistency (paper, Definition 7)."""
+
+    def __init__(self) -> None:
+        super().__init__(lazy_causal_order, "lazy_causal")
+
+
+class LazySemiCausalChecker(PerProcessChecker):
+    """Lazy semi-causal consistency (paper, Definition 10)."""
+
+    def __init__(self) -> None:
+        super().__init__(lazy_semi_causal_order, "lazy_semi_causal")
+
+
+class PRAMChecker(PerProcessChecker):
+    """PRAM (pipelined RAM) consistency (paper, Definition 12).
+
+    The checker constrains serializations with the covering edges of the PRAM
+    relation (program-order covering pairs plus read-from), which admit exactly
+    the same serializations as the full relation while keeping the constraint
+    graph linear in the history size — protocol runs record thousands of
+    operations.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(pram_generating_order, "pram")
+
+
+class SlowChecker(PerProcessChecker):
+    """Slow-memory consistency (Sinha [16]; weaker than PRAM)."""
+
+    def __init__(self) -> None:
+        super().__init__(slow_relation, "slow")

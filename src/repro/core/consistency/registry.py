@@ -1,0 +1,92 @@
+"""Registry of the consistency checkers, keyed by criterion name.
+
+The registry also records the implication *lattice* between criteria.  The
+criteria of the paper do **not** form a chain: below causal consistency there
+are two incomparable branches,
+
+* the "lazy" branch obtained by weakening the program order
+  (``causal ⇒ lazy_causal ⇒ lazy_semi_causal``, Section 4), and
+* the "pipelined" branch obtained by dropping transitivity
+  (``causal ⇒ pram ⇒ slow``, Section 5),
+
+while at the top ``atomic ⇒ sequential ⇒ causal``.  "A ⇒ B" means every
+A-consistent history is B-consistent (A is stronger); it follows from the
+inclusion of B's order relation in A's order relation.  The lattice is used by
+the hierarchy property tests and by the reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .atomic import AtomicChecker
+from .base import ConsistencyChecker
+from .criteria import (
+    CausalChecker,
+    LazyCausalChecker,
+    LazySemiCausalChecker,
+    PRAMChecker,
+    SlowChecker,
+)
+from .sequential import SequentialChecker
+
+#: Criterion names, strongest first (a convenient linearisation of the lattice).
+CRITERIA: List[str] = [
+    "atomic",
+    "sequential",
+    "causal",
+    "lazy_causal",
+    "lazy_semi_causal",
+    "pram",
+    "slow",
+]
+
+#: Direct implications of the lattice: ``A`` consistent ⇒ ``B`` consistent for
+#: every ``B`` in ``IMPLIES[A]``.
+IMPLIES: Dict[str, Set[str]] = {
+    "atomic": {"sequential"},
+    "sequential": {"causal"},
+    "causal": {"lazy_causal", "pram"},
+    "lazy_causal": {"lazy_semi_causal"},
+    "lazy_semi_causal": set(),
+    "pram": {"slow"},
+    "slow": set(),
+}
+
+
+def implied_criteria(name: str) -> Set[str]:
+    """Every criterion implied (transitively) by ``name``, including itself."""
+    out: Set[str] = {name}
+    frontier = [name]
+    while frontier:
+        cur = frontier.pop()
+        for nxt in IMPLIES[cur]:
+            if nxt not in out:
+                out.add(nxt)
+                frontier.append(nxt)
+    return out
+
+
+def all_checkers() -> Dict[str, ConsistencyChecker]:
+    """Fresh instances of every checker, keyed by criterion name."""
+    checkers: Dict[str, ConsistencyChecker] = {
+        "atomic": AtomicChecker(),
+        "sequential": SequentialChecker(),
+        "causal": CausalChecker(),
+        "lazy_causal": LazyCausalChecker(),
+        "lazy_semi_causal": LazySemiCausalChecker(),
+        "pram": PRAMChecker(),
+        "slow": SlowChecker(),
+    }
+    return checkers
+
+
+def get_checker(name: str) -> ConsistencyChecker:
+    """Return a checker by criterion name (see :data:`CRITERIA` for spellings)."""
+    checkers = all_checkers()
+    try:
+        return checkers[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown consistency criterion {name!r}; known: {sorted(checkers)}"
+        ) from exc

@@ -1,0 +1,50 @@
+"""Sequential consistency checker (Lamport [11], cited in the paper's Section 1).
+
+A history is *sequentially consistent* when there exists a single legal
+serialization of **all** its operations that respects every process' program
+order.  Unlike the per-process criteria this requires one global witness;
+checking it is NP-hard in general, so the checker relies on the exact
+backtracking search of :mod:`repro.core.serialization` (with the polynomial
+bad-pattern pre-check used for fast rejection).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..history import History
+from ..orders import full_program_order
+from ..serialization import SerializationProblem
+from .base import CheckResult, ConsistencyChecker, ReadFrom
+
+
+class SequentialChecker(ConsistencyChecker):
+    """Sequential consistency: one legal serialization respecting program order."""
+
+    name = "sequential"
+
+    def check(
+        self,
+        history: History,
+        read_from: Optional[ReadFrom] = None,
+        exact: bool = True,
+    ) -> CheckResult:
+        rf = history.read_from() if read_from is None else read_from
+        relation = full_program_order(history)
+        problem = SerializationProblem(history.operations, relation, rf)
+        result = CheckResult(criterion=self.name, consistent=True, exact=exact)
+        violations = problem.quick_violations()
+        if violations:
+            result.consistent = False
+            result.exact = True
+            result.violations.extend(violations)
+            return result
+        if not exact:
+            return result
+        witness = problem.solve()
+        if witness is None:
+            result.consistent = False
+            result.violations.append("no legal global serialization respects program order")
+        else:
+            result.serializations[-1] = witness
+        return result

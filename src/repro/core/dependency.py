@@ -1,0 +1,215 @@
+"""Dependency chains along hoops (paper, Definition 4 and Figure 3).
+
+Given a variable ``x`` and an x-hoop ``[p_a, ..., p_b]``, a history ``H``
+*includes an x-dependency chain along the hoop* when ``O_H`` contains a write
+``w_a(x)v``, an operation ``o_b(x)`` and a pattern of operations — at least
+one per hoop process — implying ``w_a(x)v -> o_b(x)`` for the consistency
+criterion's order relation.
+
+Operationally the library detects chains by looking at *derivation paths* of
+the order relation: paths in the graph of the relation's generating edges
+(program order and read-from for causal consistency; their lazy variants for
+the weakened criteria; program order and read-from without transitive chaining
+for PRAM).  The processes traversed by the derivation path are exactly the
+processes that would have to relay control information about ``x`` —
+a path leaving ``C(x)`` therefore witnesses that partial replication cannot be
+"efficient" in the paper's sense (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .distribution import VariableDistribution
+from .history import History
+from .operations import Operation
+from .orders import (
+    Relation,
+    full_program_order,
+    lazy_program_order,
+    lazy_writes_before,
+    program_order,
+    read_from_order,
+)
+
+ReadFrom = Dict[Operation, Optional[Operation]]
+
+
+@dataclass(frozen=True)
+class DependencyChain:
+    """A concrete x-dependency chain found in a history.
+
+    Attributes
+    ----------
+    variable:
+        The variable ``x`` the chain is about.
+    initial / final:
+        The initial write ``w_a(x)v`` and the final operation ``o_b(x)``.
+    operations:
+        The derivation path ``initial -> ... -> final`` through the relation's
+        generating edges.
+    processes:
+        The sequence of processes visited by the derivation path, with
+        consecutive duplicates collapsed (the hoop path of Definition 4).
+    external_processes:
+        The visited processes that do not replicate ``x``; non-empty exactly
+        when the chain runs along a (non-trivial) hoop.
+    """
+
+    variable: str
+    initial: Operation
+    final: Operation
+    operations: Tuple[Operation, ...]
+    processes: Tuple[int, ...]
+    external_processes: Tuple[int, ...]
+
+    @property
+    def is_external(self) -> bool:
+        """``True`` iff the chain involves processes outside ``C(x)``."""
+        return bool(self.external_processes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ops = " -> ".join(op.label() for op in self.operations)
+        return f"<DependencyChain {self.variable}: {ops}>"
+
+
+def generating_relation(criterion: str, history: History,
+                        read_from: Optional[ReadFrom] = None) -> Relation:
+    """The *generating* edges of a criterion's order relation.
+
+    These are the edges whose transitive closure defines the order; derivation
+    paths are sought over them.  Supported criteria: ``causal``,
+    ``lazy_causal``, ``lazy_semi_causal``, ``pram``.
+    """
+    rf = history.read_from() if read_from is None else read_from
+    if criterion == "causal":
+        return program_order(history).union(read_from_order(history, rf), name="causal-gen")
+    if criterion == "lazy_causal":
+        return lazy_program_order(history).union(
+            read_from_order(history, rf), name="lazy-causal-gen"
+        )
+    if criterion == "lazy_semi_causal":
+        return lazy_program_order(history).union(
+            lazy_writes_before(history, rf), name="lazy-semi-causal-gen"
+        )
+    if criterion == "pram":
+        # No transitivity: only single edges count as derivations.
+        return full_program_order(history).union(
+            read_from_order(history, rf), name="pram-gen"
+        )
+    raise ValueError(f"unsupported criterion for dependency chains: {criterion!r}")
+
+
+def _collapse_processes(path: Sequence[Operation]) -> Tuple[int, ...]:
+    out: List[int] = []
+    for op in path:
+        if not out or out[-1] != op.process:
+            out.append(op.process)
+    return tuple(out)
+
+
+def find_dependency_chains(
+    history: History,
+    distribution: VariableDistribution,
+    criterion: str = "causal",
+    variable: Optional[str] = None,
+    read_from: Optional[ReadFrom] = None,
+    external_only: bool = False,
+) -> List[DependencyChain]:
+    """Find dependency chains of ``history`` for a consistency criterion.
+
+    For every ordered pair ``(w_a(x)v, o_b(x))`` of operations on the same
+    variable issued by distinct processes and related by the criterion's
+    order, a shortest derivation path is extracted and packaged as a
+    :class:`DependencyChain`.  For the PRAM criterion only direct edges count
+    (the relation is not transitive), so — per Theorem 2 — no external chain
+    can ever be produced.
+
+    Parameters
+    ----------
+    external_only:
+        When ``True`` only chains visiting processes outside ``C(x)`` are
+        returned (the chains that defeat efficient partial replication).
+    """
+    rf = history.read_from() if read_from is None else read_from
+    gen = generating_relation(criterion, history, rf)
+    chains: List[DependencyChain] = []
+    variables = [variable] if variable is not None else list(history.variables)
+    for var in variables:
+        try:
+            clique = set(distribution.holders(var))
+        except Exception:
+            clique = set()
+        ops_on_var = history.operations_on(var)
+        writes = [op for op in ops_on_var if op.is_write]
+        for w in writes:
+            for o in ops_on_var:
+                if o is w or o.process == w.process:
+                    continue
+                if criterion == "pram":
+                    # Definition 11: only program order (impossible here, the
+                    # processes differ) or a direct read-from edge relates them.
+                    paths = [[w, o]] if gen.precedes(w, o) else []
+                else:
+                    paths = gen.find_paths(w, o, max_paths=64)
+                if not paths:
+                    continue
+                # Keep at most one internal and one external derivation per
+                # operation pair (shortest of each) to keep the output small
+                # while still exposing chains that leave the clique.
+                selected: Dict[bool, List[Operation]] = {}
+                for path in sorted(paths, key=len):
+                    processes = _collapse_processes(path)
+                    is_external = any(p not in clique for p in processes)
+                    if is_external not in selected:
+                        selected[is_external] = path
+                for is_external, path in sorted(selected.items()):
+                    processes = _collapse_processes(path)
+                    external = tuple(p for p in processes if p not in clique)
+                    chain = DependencyChain(
+                        variable=var,
+                        initial=w,
+                        final=o,
+                        operations=tuple(path),
+                        processes=processes,
+                        external_processes=external,
+                    )
+                    if external_only and not chain.is_external:
+                        continue
+                    chains.append(chain)
+    return chains
+
+
+def external_chain_processes(
+    history: History,
+    distribution: VariableDistribution,
+    criterion: str = "causal",
+    read_from: Optional[ReadFrom] = None,
+) -> Dict[str, Set[int]]:
+    """Per variable, the processes outside ``C(x)`` traversed by some chain.
+
+    These processes are *empirically* x-relevant in the given history: to
+    enforce the criterion they must relay information about ``x`` (necessity
+    direction of Theorem 1).
+    """
+    result: Dict[str, Set[int]] = {}
+    for chain in find_dependency_chains(
+        history, distribution, criterion, read_from=read_from, external_only=True
+    ):
+        result.setdefault(chain.variable, set()).update(chain.external_processes)
+    return result
+
+
+def has_external_chain(
+    history: History,
+    distribution: VariableDistribution,
+    criterion: str = "causal",
+    read_from: Optional[ReadFrom] = None,
+) -> bool:
+    """``True`` iff some dependency chain leaves its variable's clique."""
+    return bool(
+        find_dependency_chains(
+            history, distribution, criterion, read_from=read_from, external_only=True
+        )
+    )

@@ -1,0 +1,170 @@
+"""Operations of the abstract shared-memory model (paper, Section 2).
+
+The paper considers a finite set of sequential application processes
+``ap_1 ... ap_n`` interacting through read and write operations on a finite
+set of shared variables ``x_1 ... x_m``.  This module defines the immutable
+:class:`Operation` value object used throughout the library, together with the
+``BOTTOM`` sentinel standing for the initial value of every variable
+(written :math:`\\bot` in the paper).
+
+Operations carry
+
+* the invoking process identifier,
+* the variable accessed,
+* the value written (for writes) or returned (for reads),
+* their position (``index``) in the invoking process' local history, which
+  encodes the program order, and
+* optional invocation/response timestamps filled in by the simulation layer,
+  used by the linearizability checker.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Hashable, Optional
+
+
+class _Bottom:
+    """Singleton sentinel for the initial value of every shared variable."""
+
+    _instance: Optional["_Bottom"] = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "⊥"
+
+    def __reduce__(self):  # keep singleton across pickling
+        return (_Bottom, ())
+
+
+#: The initial value of every shared variable (paper: ``⊥``).
+BOTTOM = _Bottom()
+
+
+class OpKind(str, Enum):
+    """Kind of a shared-memory operation."""
+
+    READ = "read"
+    WRITE = "write"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"OpKind.{self.name}"
+
+
+_op_counter = itertools.count()
+
+
+def _next_uid() -> int:
+    return next(_op_counter)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single read or write operation of the shared-memory model.
+
+    Instances are immutable and hashable; identity is provided by ``uid`` so
+    that two operations with identical observable attributes (e.g. two reads
+    of the same value by the same process) remain distinct, matching the
+    paper's treatment of operations as *occurrences*.
+
+    Parameters
+    ----------
+    kind:
+        :data:`OpKind.READ` or :data:`OpKind.WRITE`.
+    process:
+        Identifier of the invoking application process (``ap_i``).
+    variable:
+        Name of the shared variable accessed.
+    value:
+        The value written (writes) or returned (reads).  ``BOTTOM`` denotes
+        the initial value.
+    index:
+        Zero-based position of the operation in the invoking process' local
+        history; encodes the program order.
+    invoked_at / completed_at:
+        Optional simulation timestamps (used for linearizability checking).
+    uid:
+        Globally unique identifier; generated automatically.
+    """
+
+    kind: OpKind
+    process: int
+    variable: str
+    value: Any
+    index: int
+    invoked_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    uid: int = field(default_factory=_next_uid)
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def write(process: int, variable: str, value: Any, index: int = 0, **kw: Any) -> "Operation":
+        """Build a write operation ``w_process(variable)value``."""
+        return Operation(OpKind.WRITE, process, variable, value, index, **kw)
+
+    @staticmethod
+    def read(process: int, variable: str, value: Any = BOTTOM, index: int = 0, **kw: Any) -> "Operation":
+        """Build a read operation ``r_process(variable)value``."""
+        return Operation(OpKind.READ, process, variable, value, index, **kw)
+
+    # -- predicates --------------------------------------------------------
+    @property
+    def is_read(self) -> bool:
+        """``True`` iff this is a read operation."""
+        return self.kind is OpKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        """``True`` iff this is a write operation."""
+        return self.kind is OpKind.WRITE
+
+    @property
+    def reads_initial_value(self) -> bool:
+        """``True`` iff this is a read returning the initial value ``⊥``."""
+        return self.is_read and self.value is BOTTOM
+
+    def same_variable(self, other: "Operation") -> bool:
+        """``True`` iff both operations access the same shared variable."""
+        return self.variable == other.variable
+
+    # -- hashing / equality -------------------------------------------------
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Operation):
+            return NotImplemented
+        return self.uid == other.uid
+
+    # -- presentation -------------------------------------------------------
+    def label(self) -> str:
+        """Human readable label following the paper's notation.
+
+        ``w_i(x)v`` for writes and ``r_i(x)v`` for reads.
+        """
+        tag = "w" if self.is_write else "r"
+        return f"{tag}{self.process}({self.variable}){self.value!r}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.label()} #{self.uid}>"
+
+
+def value_key(value: Any) -> Hashable:
+    """Return a hashable key for a written/read value.
+
+    Values used in histories must be hashable for read-from inference; this
+    helper normalises ``BOTTOM`` and raises a clear error otherwise.
+    """
+    try:
+        hash(value)
+    except TypeError as exc:  # pragma: no cover - defensive
+        raise TypeError(
+            f"shared-memory values must be hashable, got {type(value).__name__}"
+        ) from exc
+    return value

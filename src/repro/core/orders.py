@@ -1,0 +1,410 @@
+"""Order relations over the operations of a history (paper, Sections 2, 4, 5).
+
+The paper reasons about several binary relations on ``O_H``:
+
+* program order ``->_i`` (total order inside each local history),
+* read-from order ``->_ro``,
+* causality order ``->_co`` = transitive closure of program ∪ read-from
+  (Ahamad et al. [3]),
+* lazy program order ``->_li`` (Definition 5),
+* lazy causality order ``->_lco`` (Definition 6),
+* lazy writes-before ``->_lwb`` (Definition 8),
+* lazy semi-causality ``->_lsc`` (Definition 9),
+* the PRAM relation ``->_pram`` (Definition 11) — program ∪ read-from
+  *without* transitive closure,
+* the slow-memory relation (per-process, per-variable program order ∪
+  read-from), used as an even weaker comparison point (Sinha [16]).
+
+All relations are represented by the explicit :class:`Relation` class: a set
+of directed edges over operation objects, with helpers for transitive closure,
+acyclicity, restriction and path queries.  Relations are deliberately kept as
+plain adjacency sets — histories in this library are small compared to the
+simulated workloads, and explicitness makes the checkers easy to audit against
+the paper's definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .history import History
+from .operations import Operation
+
+
+class Relation:
+    """A binary relation over a fixed universe of operations.
+
+    The relation is *not* implicitly transitive nor reflexive; use
+    :meth:`transitive_closure` when a partial order is needed.
+    """
+
+    def __init__(self, universe: Iterable[Operation], name: str = "relation"):
+        self._universe: Tuple[Operation, ...] = tuple(universe)
+        self._index: Dict[Operation, int] = {op: i for i, op in enumerate(self._universe)}
+        self._succ: Dict[Operation, Set[Operation]] = {op: set() for op in self._universe}
+        self._pred: Dict[Operation, Set[Operation]] = {op: set() for op in self._universe}
+        self.name = name
+
+    # -- construction -------------------------------------------------------
+    def add(self, first: Operation, second: Operation) -> None:
+        """Add the pair ``first -> second`` to the relation."""
+        if first not in self._succ or second not in self._succ:
+            raise KeyError("both operations must belong to the relation's universe")
+        if first == second:
+            return
+        self._succ[first].add(second)
+        self._pred[second].add(first)
+
+    def add_edges(self, edges: Iterable[Tuple[Operation, Operation]]) -> None:
+        """Add every pair of ``edges`` to the relation."""
+        for a, b in edges:
+            self.add(a, b)
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def universe(self) -> Tuple[Operation, ...]:
+        """The operations the relation is defined over."""
+        return self._universe
+
+    def successors(self, op: Operation) -> FrozenSet[Operation]:
+        """Direct successors of ``op``."""
+        return frozenset(self._succ[op])
+
+    def predecessors(self, op: Operation) -> FrozenSet[Operation]:
+        """Direct predecessors of ``op``."""
+        return frozenset(self._pred[op])
+
+    def precedes(self, first: Operation, second: Operation) -> bool:
+        """``True`` iff the pair ``first -> second`` belongs to the relation."""
+        return second in self._succ.get(first, ())
+
+    def reachable(self, first: Operation, second: Operation) -> bool:
+        """``True`` iff ``second`` is reachable from ``first`` following edges."""
+        if first not in self._succ or second not in self._succ:
+            return False
+        stack = [first]
+        seen: Set[Operation] = set()
+        while stack:
+            cur = stack.pop()
+            for nxt in self._succ[cur]:
+                if nxt == second:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def concurrent(self, first: Operation, second: Operation) -> bool:
+        """``True`` iff neither operation reaches the other (paper: ``o1 || o2``)."""
+        return not self.reachable(first, second) and not self.reachable(second, first)
+
+    def edges(self) -> Iterator[Tuple[Operation, Operation]]:
+        """Iterate over every pair of the relation."""
+        for op, succs in self._succ.items():
+            for nxt in succs:
+                yield op, nxt
+
+    def edge_count(self) -> int:
+        """Number of pairs in the relation."""
+        return sum(len(s) for s in self._succ.values())
+
+    def is_acyclic(self) -> bool:
+        """``True`` iff the relation (viewed as a digraph) has no cycle."""
+        return self.topological_order() is not None
+
+    def topological_order(self) -> Optional[List[Operation]]:
+        """A topological order of the universe, or ``None`` if the relation is cyclic."""
+        indegree = {op: len(self._pred[op]) for op in self._universe}
+        ready = [op for op in self._universe if indegree[op] == 0]
+        order: List[Operation] = []
+        while ready:
+            op = ready.pop()
+            order.append(op)
+            for nxt in self._succ[op]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self._universe):
+            return None
+        return order
+
+    def find_path(self, first: Operation, second: Operation) -> Optional[List[Operation]]:
+        """A path ``first -> ... -> second`` following edges, or ``None``.
+
+        Paths are found breadth-first, so the returned path has a minimal
+        number of hops; used to exhibit dependency chains (Definition 4).
+        """
+        if first not in self._succ or second not in self._succ:
+            return None
+        parents: Dict[Operation, Operation] = {}
+        frontier: List[Operation] = [first]
+        seen: Set[Operation] = {first}
+        while frontier:
+            nxt_frontier: List[Operation] = []
+            for cur in frontier:
+                for nxt in self._succ[cur]:
+                    if nxt in seen:
+                        continue
+                    parents[nxt] = cur
+                    if nxt == second:
+                        path = [second]
+                        while path[-1] != first:
+                            path.append(parents[path[-1]])
+                        path.reverse()
+                        return path
+                    seen.add(nxt)
+                    nxt_frontier.append(nxt)
+            frontier = nxt_frontier
+        return None
+
+    def find_paths(
+        self,
+        first: Operation,
+        second: Operation,
+        max_paths: int = 64,
+        max_length: Optional[int] = None,
+    ) -> List[List[Operation]]:
+        """Simple paths ``first -> ... -> second`` following edges (bounded).
+
+        At most ``max_paths`` paths are returned, each with at most
+        ``max_length`` edges (unbounded when ``None``).  Used by the
+        dependency-chain analysis, which needs to distinguish derivations that
+        stay inside a variable's clique from derivations that leave it.
+        """
+        if first not in self._succ or second not in self._succ:
+            return []
+        results: List[List[Operation]] = []
+
+        def dfs(cur: Operation, path: List[Operation], seen: Set[Operation]) -> None:
+            if len(results) >= max_paths:
+                return
+            if max_length is not None and len(path) - 1 > max_length:
+                return
+            if cur == second and len(path) > 1:
+                results.append(list(path))
+                return
+            for nxt in sorted(self._succ[cur], key=lambda o: o.uid):
+                if nxt in seen:
+                    continue
+                if nxt == second:
+                    results.append(path + [nxt])
+                    if len(results) >= max_paths:
+                        return
+                    continue
+                seen.add(nxt)
+                path.append(nxt)
+                dfs(nxt, path, seen)
+                path.pop()
+                seen.remove(nxt)
+
+        dfs(first, [first], {first})
+        return results
+
+    # -- derivation ---------------------------------------------------------
+    def transitive_closure(self, name: Optional[str] = None) -> "Relation":
+        """Return a new relation equal to the transitive closure of this one."""
+        closed = Relation(self._universe, name or f"{self.name}+")
+        for op in self._universe:
+            stack = list(self._succ[op])
+            seen: Set[Operation] = set()
+            while stack:
+                cur = stack.pop()
+                if cur in seen:
+                    continue
+                seen.add(cur)
+                stack.extend(self._succ[cur])
+            for reach in seen:
+                closed.add(op, reach)
+        return closed
+
+    def union(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """Union of two relations defined over the same universe."""
+        merged = Relation(self._universe, name or f"{self.name}∪{other.name}")
+        merged.add_edges(self.edges())
+        for a, b in other.edges():
+            if a in merged._succ and b in merged._succ:
+                merged.add(a, b)
+        return merged
+
+    def restricted_to(self, ops: Iterable[Operation], name: Optional[str] = None) -> "Relation":
+        """The relation restricted to the given subset of operations."""
+        keep = [op for op in self._universe if op in set(ops)]
+        sub = Relation(keep, name or f"{self.name}|")
+        keep_set = set(keep)
+        for a, b in self.edges():
+            if a in keep_set and b in keep_set:
+                sub.add(a, b)
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Relation {self.name} |U|={len(self._universe)} edges={self.edge_count()}>"
+
+
+# ---------------------------------------------------------------------------
+# Relation builders
+# ---------------------------------------------------------------------------
+
+ReadFrom = Mapping[Operation, Optional[Operation]]
+
+
+def _resolve_read_from(history: History, read_from: Optional[ReadFrom]) -> ReadFrom:
+    return history.read_from() if read_from is None else read_from
+
+
+def program_order(history: History) -> Relation:
+    """Program order ``->_i``: covering edges of each local history.
+
+    The relation contains the *covering* pairs (consecutive operations); take
+    :meth:`Relation.transitive_closure` for the full total order per process.
+    """
+    rel = Relation(history.operations, "program")
+    for pid in history.processes:
+        ops = history.local(pid).operations
+        for prev, nxt in zip(ops, ops[1:]):
+            rel.add(prev, nxt)
+    return rel
+
+
+def full_program_order(history: History) -> Relation:
+    """Program order as a full (transitively closed) relation."""
+    return program_order(history).transitive_closure("program+")
+
+
+def read_from_order(history: History, read_from: Optional[ReadFrom] = None) -> Relation:
+    """Read-from order ``->_ro``: writer to reader edges (paper, Section 2)."""
+    read_from = _resolve_read_from(history, read_from)
+    rel = Relation(history.operations, "read-from")
+    for read, writer in read_from.items():
+        if writer is not None:
+            rel.add(writer, read)
+    return rel
+
+
+def causal_order(history: History, read_from: Optional[ReadFrom] = None) -> Relation:
+    """Causality order ``->_co``: transitive closure of program ∪ read-from."""
+    base = program_order(history).union(read_from_order(history, read_from))
+    return base.transitive_closure("causal")
+
+
+def lazy_program_order(history: History) -> Relation:
+    """Lazy program order ``->_li`` (paper, Definition 5).
+
+    Two operations of the same process with ``o1`` invoked before ``o2`` are
+    related iff
+
+    * ``o1`` is a read and ``o2`` is a read on the same variable or a write on
+      any variable, or
+    * ``o1`` is a write and ``o2`` is an operation on the same variable,
+
+    closed under transitivity (within the local history).
+    """
+    rel = Relation(history.operations, "lazy-program")
+    for pid in history.processes:
+        ops = history.local(pid).operations
+        for i, o1 in enumerate(ops):
+            for o2 in ops[i + 1:]:
+                if o1.is_read and (o2.is_write or (o2.is_read and o1.same_variable(o2))):
+                    rel.add(o1, o2)
+                elif o1.is_write and o1.same_variable(o2):
+                    rel.add(o1, o2)
+    return rel.transitive_closure("lazy-program")
+
+
+def lazy_causal_order(history: History, read_from: Optional[ReadFrom] = None) -> Relation:
+    """Lazy causality order ``->_lco`` (paper, Definition 6)."""
+    base = lazy_program_order(history).union(read_from_order(history, read_from))
+    return base.transitive_closure("lazy-causal")
+
+
+def lazy_writes_before(history: History, read_from: Optional[ReadFrom] = None) -> Relation:
+    """Lazy writes-before ``->_lwb`` (paper, Definition 8).
+
+    ``o1 ->_lwb o2`` when ``o1 = w_i(x)v``, ``o2 = r_j(y)u`` and there exists
+    ``o' = w_i(y)u`` with ``o1 ->_li o'``.
+    """
+    read_from = _resolve_read_from(history, read_from)
+    lpo = lazy_program_order(history)
+    rel = Relation(history.operations, "lazy-writes-before")
+    for read, writer in read_from.items():
+        if writer is None:
+            continue
+        # writer is o' = w_i(y)u; relate every earlier (lazily) write o1 of the
+        # same process i to the read o2.
+        for o1 in history.local(writer.process).writes:
+            if o1 == writer:
+                continue
+            if lpo.precedes(o1, writer):
+                rel.add(o1, read)
+    return rel
+
+
+def lazy_semi_causal_order(history: History, read_from: Optional[ReadFrom] = None) -> Relation:
+    """Lazy semi-causality order ``->_lsc`` (paper, Definition 9)."""
+    base = lazy_program_order(history).union(lazy_writes_before(history, read_from))
+    return base.transitive_closure("lazy-semi-causal")
+
+
+def pram_relation(history: History, read_from: Optional[ReadFrom] = None) -> Relation:
+    """The PRAM relation ``->_pram`` (paper, Definition 11).
+
+    Program order ∪ read-from, *not* transitively closed (the lack of
+    transitivity through intermediary processes is exactly what makes PRAM
+    amenable to efficient partial replication — Theorem 2).
+    """
+    return full_program_order(history).union(
+        read_from_order(history, read_from), name="pram"
+    )
+
+
+def pram_generating_order(history: History, read_from: Optional[ReadFrom] = None) -> Relation:
+    """Linear-size constraint edges equivalent to the PRAM relation for checking.
+
+    A serialization respects a relation iff it respects its transitive
+    closure, so covering edges are enough — *provided* they survive the
+    restriction to the per-process view ``H_{i+w}``.  Because that view drops
+    the other processes' reads, the covering chain of a remote writer can be
+    broken by one of its reads; the relation therefore contains, per process,
+    both the covering edges over all its operations and the covering edges
+    over its writes only (consecutive writes), plus the read-from edges.  The
+    result has ``O(|H|)`` edges (the faithful :func:`pram_relation` is
+    quadratic per process) and constrains every view exactly like
+    Definition 11 does.
+    """
+    rel = program_order(history).union(read_from_order(history, read_from), name="pram-gen")
+    for pid in history.processes:
+        writes = history.local(pid).writes
+        for prev, nxt in zip(writes, writes[1:]):
+            rel.add(prev, nxt)
+    return rel
+
+
+def slow_relation(history: History, read_from: Optional[ReadFrom] = None) -> Relation:
+    """The slow-memory relation: per-process *per-variable* program order ∪ read-from.
+
+    Slow memory (Sinha [16], cited in Section 5) only requires writes by one
+    process to one variable to be observed in program order.
+    """
+    read_from = _resolve_read_from(history, read_from)
+    rel = Relation(history.operations, "slow")
+    for pid in history.processes:
+        ops = history.local(pid).operations
+        for i, o1 in enumerate(ops):
+            for o2 in ops[i + 1:]:
+                if o1.same_variable(o2):
+                    rel.add(o1, o2)
+    for read, writer in read_from.items():
+        if writer is not None:
+            rel.add(writer, read)
+    return rel
+
+
+#: Registry mapping the name of a consistency-defining relation to its builder.
+RELATION_BUILDERS: Dict[str, Callable[..., Relation]] = {
+    "program": full_program_order,
+    "read_from": read_from_order,
+    "causal": causal_order,
+    "lazy_causal": lazy_causal_order,
+    "lazy_semi_causal": lazy_semi_causal_order,
+    "pram": pram_relation,
+    "slow": slow_relation,
+}

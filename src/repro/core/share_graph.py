@@ -1,0 +1,331 @@
+"""The share graph, cliques and hoops (paper, Section 3.1, Definitions 3).
+
+The *share graph* ``SG`` of a variable distribution is the undirected graph
+whose vertices are the processes and where an edge ``(i, j)`` labelled with
+``X_i ∩ X_j`` exists whenever that intersection is non-empty.  Each variable
+``x`` induces the clique ``C(x)`` spanned by the processes replicating ``x``;
+``SG`` is the union of all cliques.
+
+An *x-hoop* is a path of ``SG`` between two distinct processes of ``C(x)``
+whose intermediate vertices do not belong to ``C(x)`` and whose every edge
+shares a variable different from ``x`` (Definition 3).  Hoops only depend on
+the distribution, not on any history.
+
+Theorem 1 characterises the *x-relevant* processes (those that may have to
+propagate control information about ``x``) as exactly ``C(x)`` plus the
+processes lying on some x-hoop; :meth:`ShareGraph.relevant_processes`
+implements that characterisation with a polynomial component-based algorithm
+(no hoop enumeration needed), while :meth:`ShareGraph.hoops` enumerates actual
+hoops (bounded) for witness construction and for the figure reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .distribution import VariableDistribution
+from .graphlib import LabelledGraph
+
+
+@dataclass(frozen=True)
+class Hoop:
+    """An x-hoop: a path ``[p_a, p_1, ..., p_{k-1}, p_b]`` of the share graph.
+
+    ``variable`` is the variable ``x`` the hoop is relative to; ``path`` is the
+    full vertex sequence (endpoints in ``C(x)``, intermediates outside);
+    ``edge_labels`` gives, for each consecutive pair, the variables (other than
+    ``x``) the pair shares.
+    """
+
+    variable: str
+    path: Tuple[int, ...]
+    edge_labels: Tuple[FrozenSet[str], ...]
+
+    @property
+    def endpoints(self) -> Tuple[int, int]:
+        """The two ``C(x)`` processes joined by the hoop."""
+        return self.path[0], self.path[-1]
+
+    @property
+    def intermediates(self) -> Tuple[int, ...]:
+        """The processes strictly inside the hoop (all outside ``C(x)``)."""
+        return self.path[1:-1]
+
+    @property
+    def length(self) -> int:
+        """Number of edges of the hoop."""
+        return len(self.path) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        arrow = " - ".join(f"p{p}" for p in self.path)
+        return f"<Hoop {self.variable}: {arrow}>"
+
+
+class ShareGraph:
+    """The share graph of a variable distribution."""
+
+    def __init__(self, distribution: VariableDistribution):
+        self._distribution = distribution
+        graph = LabelledGraph()
+        for pid in distribution.processes:
+            graph.add_vertex(pid)
+        procs = distribution.processes
+        for i, a in enumerate(procs):
+            for b in procs[i + 1:]:
+                for var in distribution.shared_variables(a, b):
+                    graph.add_edge(a, b, var)
+        self._graph = graph
+
+    # -- basic structure --------------------------------------------------------
+    @property
+    def distribution(self) -> VariableDistribution:
+        """The distribution the graph was built from."""
+        return self._distribution
+
+    @property
+    def graph(self) -> LabelledGraph:
+        """The underlying labelled graph."""
+        return self._graph
+
+    @property
+    def processes(self) -> Tuple[int, ...]:
+        return self._distribution.processes
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return self._distribution.variables
+
+    def clique(self, variable: str) -> FrozenSet[int]:
+        """Vertex set of ``C(variable)``."""
+        return self._distribution.holders(variable)
+
+    def clique_edges(self, variable: str) -> List[Tuple[int, int]]:
+        """Edges of ``C(variable)`` (every pair of holders)."""
+        holders = sorted(self.clique(variable))
+        return [(a, b) for i, a in enumerate(holders) for b in holders[i + 1:]]
+
+    def edge_label(self, a: int, b: int) -> FrozenSet[str]:
+        """Variables shared by ``a`` and ``b`` (empty when no edge)."""
+        return self._graph.labels(a, b)
+
+    def neighbours(self, process: int) -> Tuple[int, ...]:
+        """Processes sharing at least one variable with ``process``."""
+        return self._graph.neighbours(process)
+
+    # -- hoops -------------------------------------------------------------------
+    def _hoop_edge_filter(self, variable: str):
+        def usable(a: int, b: int, labels: FrozenSet[str]) -> bool:
+            return bool(labels - {variable})
+        return usable
+
+    def hoops(
+        self,
+        variable: str,
+        max_length: Optional[int] = None,
+        max_hoops: Optional[int] = None,
+    ) -> Iterator[Hoop]:
+        """Enumerate x-hoops for ``variable`` (Definition 3).
+
+        Enumeration can be combinatorial on dense graphs; bound it with
+        ``max_length`` (edges per hoop) and ``max_hoops`` (total yielded).
+        Each unordered endpoint pair is enumerated once (``p_a < p_b``).
+        """
+        clique = self.clique(variable)
+        outside = set(self.processes) - clique
+        usable = self._hoop_edge_filter(variable)
+        remaining = max_hoops
+        holders = sorted(clique)
+        for i, a in enumerate(holders):
+            for b in holders[i + 1:]:
+                for path in self._graph.simple_paths(
+                    a,
+                    b,
+                    allowed=outside,
+                    edge_filter=usable,
+                    max_length=max_length,
+                    max_paths=remaining,
+                ):
+                    labels = tuple(
+                        frozenset(self._graph.labels(u, v) - {variable})
+                        for u, v in zip(path, path[1:])
+                    )
+                    hoop = Hoop(variable, tuple(path), labels)
+                    yield hoop
+                    if remaining is not None:
+                        remaining -= 1
+                        if remaining <= 0:
+                            return
+
+    def has_hoop(self, variable: str) -> bool:
+        """``True`` iff at least one x-hoop exists for ``variable``."""
+        for _ in self.hoops(variable, max_hoops=1):
+            return True
+        return False
+
+    def hoop_through(self, process: int, variable: str,
+                     max_length: Optional[int] = None) -> Optional[Hoop]:
+        """An x-hoop whose path contains ``process``, or ``None``.
+
+        For a process of ``C(x)`` any hoop having it as endpoint qualifies;
+        for a process outside ``C(x)`` the hoop must traverse it.
+        """
+        for hoop in self.hoops(variable, max_length=max_length):
+            if process in hoop.path:
+                return hoop
+        return None
+
+    # -- Theorem 1 characterisation ------------------------------------------------
+    def _max_disjoint_paths_to_clique(
+        self, process: int, variable: str, needed: int = 2
+    ) -> int:
+        """Maximum number of vertex-disjoint paths (meeting only at ``process``)
+        from ``process`` to *distinct* members of ``C(variable)``, with every
+        intermediate vertex outside ``C(variable)`` and every edge sharing a
+        variable other than ``variable``.
+
+        A process outside ``C(x)`` lies on an x-hoop iff this value is at least
+        two (split the hoop at the process).  Implemented as unit-capacity
+        max-flow with node splitting; the search stops as soon as ``needed``
+        augmenting paths have been found.
+        """
+        clique = self.clique(variable)
+        outside = set(self.processes) - clique
+        usable = self._hoop_edge_filter(variable)
+
+        # Node-split flow network over: "in"/"out" copies of outside vertices,
+        # source = (process, "out"), sink = "T"; each clique member contributes
+        # a single capacity-1 arc to the sink so endpoints stay distinct.
+        capacity: Dict[Tuple[object, object], int] = {}
+        adjacency: Dict[object, Set[object]] = {}
+
+        def add_arc(u: object, v: object, cap: int) -> None:
+            capacity[(u, v)] = capacity.get((u, v), 0) + cap
+            capacity.setdefault((v, u), 0)
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+
+        source = (process, "out")
+        sink = "T"
+        for v in outside:
+            if v != process:
+                add_arc((v, "in"), (v, "out"), 1)
+        for member in clique:
+            add_arc((member, "in"), sink, 1)
+        for a, b, labels in self._graph.edges():
+            if not usable(a, b, labels):
+                continue
+            for u, v in ((a, b), (b, a)):
+                if u in clique:
+                    continue  # clique members cannot be traversed
+                if v in clique:
+                    add_arc((u, "out"), (v, "in"), 1)
+                elif v in outside:
+                    add_arc((u, "out"), (v, "in"), 1)
+
+        flow = 0
+        while flow < needed:
+            # BFS for an augmenting path in the residual graph.
+            parent: Dict[object, object] = {source: source}
+            frontier = [source]
+            while frontier and sink not in parent:
+                nxt_frontier = []
+                for u in frontier:
+                    for v in adjacency.get(u, ()):  # residual neighbours
+                        if v in parent or capacity.get((u, v), 0) <= 0:
+                            continue
+                        parent[v] = u
+                        if v == sink:
+                            break
+                        nxt_frontier.append(v)
+                    if sink in parent:
+                        break
+                frontier = nxt_frontier
+            if sink not in parent:
+                break
+            node = sink
+            while node != source:
+                prev = parent[node]
+                capacity[(prev, node)] -= 1
+                capacity[(node, prev)] += 1
+                node = prev
+            flow += 1
+        return flow
+
+    def is_on_hoop(self, process: int, variable: str) -> bool:
+        """``True`` iff ``process`` (outside ``C(x)``) lies on some x-hoop."""
+        if process in self.clique(variable):
+            return False
+        return self._max_disjoint_paths_to_clique(process, variable, needed=2) >= 2
+
+    def hoop_processes(self, variable: str) -> FrozenSet[int]:
+        """Processes outside ``C(x)`` lying on at least one x-hoop.
+
+        Polynomial algorithm in two stages: a cheap component pre-filter
+        (a component of ``SG - C(x)`` whose attachment to ``C(x)`` uses fewer
+        than two distinct clique members can contain no hoop process), then an
+        exact vertex-disjoint-paths test per surviving candidate
+        (:meth:`is_on_hoop`).
+        """
+        clique = self.clique(variable)
+        outside = set(self.processes) - clique
+        usable = self._hoop_edge_filter(variable)
+        candidates: Set[int] = set()
+        for component in self._graph.connected_components(outside, edge_filter=usable):
+            attached: Set[int] = set()
+            for member in component:
+                for neighbour in self._graph.neighbours(member):
+                    if neighbour in clique and usable(
+                        member, neighbour, self._graph.labels(member, neighbour)
+                    ):
+                        attached.add(neighbour)
+            if len(attached) >= 2:
+                candidates |= component
+        return frozenset(p for p in candidates if self.is_on_hoop(p, variable))
+
+    def relevant_processes(self, variable: str) -> FrozenSet[int]:
+        """The x-relevant processes per Theorem 1: ``C(x)`` ∪ hoop processes."""
+        return self.clique(variable) | self.hoop_processes(variable)
+
+    def irrelevant_processes(self, variable: str) -> FrozenSet[int]:
+        """Processes that never need to carry information about ``variable``."""
+        return frozenset(set(self.processes) - self.relevant_processes(variable))
+
+    def is_hoop_free(self, variable: str) -> bool:
+        """``True`` iff no process outside ``C(x)`` lies on an x-hoop.
+
+        Note that hoops entirely made of ``C(x)`` endpoints (length-1 hoops)
+        may still exist; they add no extra relevant process.
+        """
+        return not self.hoop_processes(variable)
+
+    # -- metrics ---------------------------------------------------------------------
+    def relevance_fraction(self, variable: str) -> float:
+        """Fraction of all processes that are x-relevant."""
+        return len(self.relevant_processes(variable)) / len(self.processes)
+
+    def average_relevance_fraction(self) -> float:
+        """Mean relevance fraction over every variable."""
+        if not self.variables:
+            return 0.0
+        return sum(self.relevance_fraction(v) for v in self.variables) / len(self.variables)
+
+    def relevance_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-variable summary used by the analysis layer."""
+        report: Dict[str, Dict[str, object]] = {}
+        for var in self.variables:
+            clique = self.clique(var)
+            hoop_procs = self.hoop_processes(var)
+            report[var] = {
+                "clique": tuple(sorted(clique)),
+                "hoop_processes": tuple(sorted(hoop_procs)),
+                "relevant": tuple(sorted(clique | hoop_procs)),
+                "relevance_fraction": (len(clique) + len(hoop_procs)) / len(self.processes),
+            }
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShareGraph processes={len(self.processes)} variables={len(self.variables)} "
+            f"edges={self._graph.edge_count()}>"
+        )

@@ -1,0 +1,15 @@
+"""Application-facing distributed shared memory: programs, runtime, facade."""
+
+from .memory import DistributedSharedMemory, RunOutcome
+from .program import ProcessContext, ProgramFn, Read, Write
+from .runtime import DSMRuntime
+
+__all__ = [
+    "DSMRuntime",
+    "DistributedSharedMemory",
+    "ProcessContext",
+    "ProgramFn",
+    "Read",
+    "RunOutcome",
+    "Write",
+]

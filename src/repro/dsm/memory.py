@@ -1,0 +1,109 @@
+"""High-level facade: a distributed shared memory ready to run programs.
+
+:class:`DistributedSharedMemory` bundles the variable distribution, the chosen
+MCS protocol, the network parameters and the runtime into a single object with
+a small surface, which is what the examples and most benchmarks use:
+
+>>> from repro import DistributedSharedMemory, VariableDistribution
+>>> dist = VariableDistribution({0: {"x"}, 1: {"x"}})
+>>> dsm = DistributedSharedMemory(dist, protocol="pram_partial")
+>>> def writer(ctx):
+...     ctx.write("x", 42)
+...     yield
+>>> def reader(ctx):
+...     while ctx.read("x") is not None and ctx.read("x") != 42:
+...         yield
+...     return ctx.read("x")
+>>> outcome = dsm.run({0: writer, 1: reader})
+>>> outcome.results[1]
+42
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.distribution import VariableDistribution
+from ..core.history import History
+from ..mcs.metrics import EfficiencyReport
+from ..mcs.system import MCSystem
+from ..netsim.latency import LatencyModel
+from .program import ProgramFn
+from .runtime import DSMRuntime
+
+
+@dataclass
+class RunOutcome:
+    """Everything a DSM run produces."""
+
+    results: Dict[int, Any]
+    history: History
+    read_from: Dict
+    efficiency: EfficiencyReport
+    elapsed: float
+    steps: Dict[int, int] = field(default_factory=dict)
+
+    def operations(self) -> int:
+        """Number of shared-memory operations performed during the run."""
+        return len(self.history)
+
+
+class DistributedSharedMemory:
+    """A partially (or fully) replicated shared memory plus its runtime."""
+
+    def __init__(
+        self,
+        distribution: VariableDistribution,
+        protocol: str = "pram_partial",
+        latency: Optional[LatencyModel] = None,
+        fifo: bool = True,
+        step_delay: float = 0.1,
+        retry_delay: float = 0.5,
+        max_steps_per_process: int = 200_000,
+        protocol_options: Optional[Dict[str, Any]] = None,
+    ):
+        self.distribution = distribution
+        self.protocol = protocol
+        self._latency = latency
+        self._fifo = fifo
+        self._step_delay = step_delay
+        self._retry_delay = retry_delay
+        self._max_steps = max_steps_per_process
+        self._protocol_options = protocol_options
+        self.system: Optional[MCSystem] = None
+
+    def _build_system(self) -> MCSystem:
+        return MCSystem(
+            self.distribution,
+            protocol=self.protocol,
+            latency=self._latency,
+            fifo=self._fifo,
+            protocol_options=self._protocol_options,
+        )
+
+    def run(self, programs: Dict[int, ProgramFn]) -> RunOutcome:
+        """Run one program per process and return the full outcome.
+
+        Each call builds a fresh system (fresh replicas, fresh statistics), so
+        successive runs are independent.
+        """
+        system = self._build_system()
+        self.system = system
+        runtime = DSMRuntime(
+            system,
+            step_delay=self._step_delay,
+            retry_delay=self._retry_delay,
+            max_steps_per_process=self._max_steps,
+        )
+        runtime.add_programs(programs)
+        results = runtime.run()
+        system.settle()
+        return RunOutcome(
+            results=results,
+            history=system.history(),
+            read_from=system.read_from(),
+            efficiency=system.efficiency(),
+            elapsed=system.simulator.now,
+            steps=runtime.step_counts(),
+        )

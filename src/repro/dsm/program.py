@@ -1,0 +1,83 @@
+"""Application programs running on top of the distributed shared memory.
+
+An application program is a Python *generator function* taking a
+:class:`ProcessContext` as its only argument.  The context exposes the
+shared-memory API of the paper's application processes:
+
+* ``ctx.read(variable)`` / ``ctx.write(variable, value)`` — direct,
+  synchronous operations; they are wait-free for the causal and PRAM
+  protocols, matching the paper's model of local-copy access;
+* ``yield`` — relinquish the processor, letting the network deliver messages
+  before the program resumes (the only way a spin-wait such as the
+  Bellman-Ford barrier of Figure 7 can observe remote progress);
+* ``value = yield Read(variable)`` / ``yield Write(variable, value)`` —
+  command-style operations executed by the runtime; they are required for
+  *blocking* protocols (the sequencer-based sequential-consistency baseline),
+  whose reads may have to wait for the process' own writes to be ordered.
+
+The generator's ``return`` value is collected by the runtime as the program's
+result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional, Union
+
+from ..mcs.base import MCSProcess
+
+
+@dataclass(frozen=True)
+class Read:
+    """Command form of a read operation (for blocking protocols)."""
+
+    variable: str
+
+
+@dataclass(frozen=True)
+class Write:
+    """Command form of a write operation (for blocking protocols)."""
+
+    variable: str
+    value: Any
+
+
+#: What a program may yield to the runtime.
+Command = Union[None, Read, Write]
+
+#: An application program: a generator function over a :class:`ProcessContext`.
+ProgramFn = Callable[["ProcessContext"], Generator[Command, Any, Any]]
+
+
+class ProcessContext:
+    """The shared-memory handle given to an application program."""
+
+    def __init__(self, pid: int, mcs: MCSProcess):
+        self._pid = pid
+        self._mcs = mcs
+
+    @property
+    def pid(self) -> int:
+        """Identifier of the application process running the program."""
+        return self._pid
+
+    @property
+    def variables(self) -> frozenset:
+        """Variables this process replicates (``X_i``)."""
+        return self._mcs.replicated_variables
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._mcs.now
+
+    def read(self, variable: str) -> Any:
+        """Read the local replica of ``variable`` (direct style, wait-free protocols)."""
+        return self._mcs.read(variable)
+
+    def write(self, variable: str, value: Any) -> None:
+        """Write ``value`` to ``variable`` (direct style)."""
+        self._mcs.write(variable, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ProcessContext p{self._pid}>"

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish model errors (malformed histories), protocol errors
+(a memory-consistency-system process misused), and simulation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class ModelError(ReproError):
+    """A shared-memory model object (operation, history, relation) is malformed."""
+
+
+class AmbiguousReadFromError(ModelError):
+    """The read-from relation cannot be inferred because written values collide.
+
+    The inference of the read-from relation (paper, Section 2) requires the
+    history to be *differentiated*: no two write operations store the same
+    value into the same variable.  When that does not hold the caller must
+    provide an explicit read-from mapping.
+    """
+
+
+class InvalidHistoryError(ModelError):
+    """A history violates a structural invariant (duplicate indices, bad process ids...)."""
+
+
+class DistributionError(ReproError):
+    """A variable distribution is inconsistent with the processes or variables used."""
+
+
+class ProtocolError(ReproError):
+    """A memory-consistency-system protocol was driven into an invalid state."""
+
+
+class ReplicaMissingError(ProtocolError):
+    """A process attempted to access a variable it does not replicate."""
+
+
+class RetryOperation(ReproError):
+    """Control-flow signal: the operation cannot complete yet and must be retried.
+
+    Raised by blocking protocols (e.g. the sequencer-based sequential
+    consistency baseline, whose reads must wait for the process' own writes to
+    be totally ordered).  The DSM runtime catches it and re-schedules the
+    application step after letting the network make progress.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation failed (e.g. livelock guard triggered)."""
+
+
+class LivelockError(SimulationError):
+    """An application program did not terminate within the configured step budget."""
+
+
+class ConsistencyCheckError(ReproError):
+    """A consistency checker was invoked with inputs it cannot handle."""

@@ -1,0 +1,108 @@
+"""Full-replication causal memory (vector-clock causal broadcast).
+
+This is the classical implementation of causal memory the paper refers to in
+Section 1 ([3], [4], [8], [10]): every MCS process manages a copy of **every**
+shared variable, each write is broadcast to every other process, and causal
+delivery is enforced with a vector clock of size ``n`` piggybacked on every
+update.
+
+The protocol is the reference point of the efficiency study: it is correct and
+simple, but each process receives (and stores) information about every
+variable — including variables its application process never accesses — and
+every message carries ``O(n)`` control bytes, which is what motivates partial
+replication in the first place (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..core.distribution import VariableDistribution
+from ..exceptions import ProtocolError
+from ..netsim.message import Message
+from ..netsim.network import Network
+from .base import MCSProcess
+from .recorder import HistoryRecorder, WriteId
+from .vector_clock import VectorClock
+
+
+class CausalFullReplication(MCSProcess):
+    """Causal memory with complete replication and vector-clock causal broadcast."""
+
+    protocol_name = "causal_full"
+
+    def __init__(
+        self,
+        pid: int,
+        distribution: VariableDistribution,
+        network: Network,
+        recorder: HistoryRecorder,
+    ):
+        super().__init__(pid, distribution, network, recorder)
+        # Complete replication: manage a copy of every variable, whatever the
+        # distribution says about the application's access pattern.
+        from ..core.operations import BOTTOM
+
+        for var in distribution.variables:
+            self._store.setdefault(var, (BOTTOM, None))
+        self._vc = VectorClock(distribution.processes)
+        self._pending: List[Message] = []
+
+    # -- write propagation --------------------------------------------------------
+    def _propagate_write(self, variable: str, value: Any, write_id: WriteId) -> None:
+        self._vc.increment(self.pid)
+        self.send_to_all(
+            self.distribution.processes,
+            "update",
+            variable=variable,
+            payload={"value": value},
+            control={
+                "sender": self.pid,
+                "vc": self._vc.as_dict(),
+                "_wid": list(write_id),
+            },
+        )
+
+    # -- delivery --------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        if message.kind != "update":
+            raise ProtocolError(f"unexpected message kind {message.kind!r}")
+        self._pending.append(message)
+        self._drain()
+
+    def _deliverable(self, message: Message) -> bool:
+        sender = message.control["sender"]
+        vc = message.control["vc"]
+        if vc[sender] != self._vc[sender] + 1:
+            return False
+        return all(
+            count <= self._vc[pid]
+            for pid, count in vc.items()
+            if pid != sender
+        )
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for message in list(self._pending):
+                if self._deliverable(message):
+                    self._pending.remove(message)
+                    self._deliver(message)
+                    progress = True
+
+    def _deliver(self, message: Message) -> None:
+        sender = message.control["sender"]
+        wid = tuple(message.control["_wid"])
+        self._apply(message.variable, message.payload["value"], wid)  # type: ignore[arg-type]
+        self._vc[sender] = message.control["vc"][sender]
+
+    # -- diagnostics ---------------------------------------------------------------------
+    def pending_updates(self) -> int:
+        """Number of updates waiting for causal deliverability."""
+        return len(self._pending)
+
+    @property
+    def vector_clock(self) -> VectorClock:
+        """The process' current vector clock (copy)."""
+        return self._vc.copy()

@@ -1,0 +1,104 @@
+"""Recording of the history produced by a protocol run.
+
+The MCS processes report every application-level read and write to a shared
+:class:`HistoryRecorder`.  Because protocols internally tag each write with a
+write identifier ``(writer, writer_sequence)`` and propagate that identifier
+together with the value, the recorder can reconstruct the **exact** read-from
+mapping of the run — even when the application writes colliding values (the
+distributed Bellman-Ford writes the same distance repeatedly, so value-based
+inference would be ambiguous).  The recorded :class:`~repro.core.History` and
+its read-from mapping are what the consistency checkers are applied to in the
+integration tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.history import History
+from ..core.operations import BOTTOM, Operation, OpKind
+
+WriteId = Tuple[int, int]
+
+
+@dataclass
+class HistoryRecorder:
+    """Collects operations and read-from evidence from a protocol run."""
+
+    _ops: Dict[int, List[Operation]] = field(default_factory=dict)
+    _write_ops: Dict[WriteId, Operation] = field(default_factory=dict)
+    _read_sources: Dict[int, Optional[WriteId]] = field(default_factory=dict)
+
+    # -- recording ---------------------------------------------------------------
+    def record_write(
+        self,
+        process: int,
+        variable: str,
+        value: Any,
+        write_id: WriteId,
+        invoked_at: Optional[float] = None,
+        completed_at: Optional[float] = None,
+    ) -> Operation:
+        """Record a write operation and remember its protocol-level identifier."""
+        seq = self._ops.setdefault(process, [])
+        op = Operation(
+            OpKind.WRITE,
+            process,
+            variable,
+            value,
+            index=len(seq),
+            invoked_at=invoked_at,
+            completed_at=completed_at,
+        )
+        seq.append(op)
+        self._write_ops[write_id] = op
+        return op
+
+    def record_read(
+        self,
+        process: int,
+        variable: str,
+        value: Any,
+        source: Optional[WriteId],
+        invoked_at: Optional[float] = None,
+        completed_at: Optional[float] = None,
+    ) -> Operation:
+        """Record a read operation together with the write it returned."""
+        seq = self._ops.setdefault(process, [])
+        op = Operation(
+            OpKind.READ,
+            process,
+            variable,
+            value,
+            index=len(seq),
+            invoked_at=invoked_at,
+            completed_at=completed_at,
+        )
+        seq.append(op)
+        self._read_sources[op.uid] = source
+        return op
+
+    def declare_process(self, process: int) -> None:
+        """Ensure ``process`` appears in the history even with no operations."""
+        self._ops.setdefault(process, [])
+
+    # -- extraction -----------------------------------------------------------------
+    def history(self) -> History:
+        """The recorded history."""
+        return History(self._ops)
+
+    def operation_count(self) -> int:
+        """Total number of recorded operations."""
+        return sum(len(v) for v in self._ops.values())
+
+    def read_from(self) -> Dict[Operation, Optional[Operation]]:
+        """The exact read-from mapping of the run (protocol ground truth)."""
+        mapping: Dict[Operation, Optional[Operation]] = {}
+        for pid, ops in self._ops.items():
+            for op in ops:
+                if not op.is_read:
+                    continue
+                source = self._read_sources.get(op.uid)
+                mapping[op] = self._write_ops.get(source) if source is not None else None
+        return mapping

@@ -1,0 +1,130 @@
+"""Wiring of a complete Memory Consistency System.
+
+:class:`MCSystem` assembles, for a given variable distribution and protocol
+name, the simulator, the network, one MCS process per application process and
+a shared history recorder.  It is the entry point used by the DSM runtime, the
+examples and the benchmarks:
+
+>>> from repro.core import VariableDistribution
+>>> from repro.mcs import MCSystem
+>>> dist = VariableDistribution({0: {"x"}, 1: {"x", "y"}, 2: {"y"}})
+>>> system = MCSystem(dist, protocol="pram_partial")
+>>> system.process(0).write("x", 1)
+>>> system.settle()                      # let every message be delivered
+>>> system.process(1).read("x")
+1
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Type
+
+from ..core.distribution import VariableDistribution
+from ..core.history import History
+from ..core.share_graph import ShareGraph
+from ..exceptions import ProtocolError
+from ..netsim.latency import ConstantLatency, LatencyModel
+from ..netsim.network import Network
+from ..netsim.simulator import Simulator
+from .base import MCSProcess
+from .causal_full import CausalFullReplication
+from .causal_partial import CausalPartialReplication
+from .metrics import EfficiencyReport, efficiency_report
+from .pram_partial import PRAMPartialReplication
+from .recorder import HistoryRecorder
+from .sequencer_sc import SequencerSC
+
+#: Registry of protocol constructors usable by name.
+PROTOCOLS: Dict[str, Type[MCSProcess]] = {
+    "pram_partial": PRAMPartialReplication,
+    "causal_full": CausalFullReplication,
+    "causal_partial": CausalPartialReplication,
+    "sequencer_sc": SequencerSC,
+}
+
+#: Consistency criterion each protocol is expected to enforce (used by tests
+#: and by the experiment harness to pick the right checker).
+PROTOCOL_CRITERION: Dict[str, str] = {
+    "pram_partial": "pram",
+    "causal_full": "causal",
+    "causal_partial": "causal",
+    "sequencer_sc": "sequential",
+}
+
+
+class MCSystem:
+    """A simulator + network + one MCS process per application process."""
+
+    def __init__(
+        self,
+        distribution: VariableDistribution,
+        protocol: str = "pram_partial",
+        latency: Optional[LatencyModel] = None,
+        fifo: bool = True,
+        record_trace: bool = False,
+        protocol_options: Optional[Dict[str, Any]] = None,
+    ):
+        if protocol not in PROTOCOLS:
+            raise ProtocolError(f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}")
+        self.distribution = distribution
+        self.protocol_name = protocol
+        self.simulator = Simulator()
+        self.network = Network(
+            self.simulator,
+            latency=latency or ConstantLatency(1.0),
+            fifo=fifo,
+            record_trace=record_trace,
+        )
+        self.recorder = HistoryRecorder()
+        options = dict(protocol_options or {})
+        if protocol == "causal_partial" and "share_graph" not in options:
+            options["share_graph"] = ShareGraph(distribution)
+        ctor = PROTOCOLS[protocol]
+        self._processes: Dict[int, MCSProcess] = {
+            pid: ctor(pid, distribution, self.network, self.recorder, **options)
+            for pid in distribution.processes
+        }
+
+    # -- access -----------------------------------------------------------------------
+    def process(self, pid: int) -> MCSProcess:
+        """The MCS process attached to application process ``pid``."""
+        return self._processes[pid]
+
+    @property
+    def processes(self) -> Dict[int, MCSProcess]:
+        """All MCS processes, keyed by process identifier."""
+        return dict(self._processes)
+
+    # -- execution ---------------------------------------------------------------------
+    def settle(self, max_events: Optional[int] = None) -> int:
+        """Run the simulator until no message is in flight; returns events processed."""
+        return self.simulator.run(max_events=max_events)
+
+    # -- results ------------------------------------------------------------------------
+    def history(self) -> History:
+        """The history recorded so far."""
+        return self.recorder.history()
+
+    def read_from(self):
+        """The exact read-from mapping recorded so far."""
+        return self.recorder.read_from()
+
+    @property
+    def stats(self):
+        """Network statistics of the run."""
+        return self.network.stats
+
+    def efficiency(self) -> EfficiencyReport:
+        """The control-information efficiency report of the run."""
+        return efficiency_report(self.protocol_name, self.network.stats, self.distribution)
+
+    @property
+    def expected_criterion(self) -> str:
+        """The consistency criterion the chosen protocol is meant to enforce."""
+        return PROTOCOL_CRITERION[self.protocol_name]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MCSystem protocol={self.protocol_name!r} "
+            f"processes={len(self._processes)} variables={len(self.distribution.variables)}>"
+        )

@@ -1,0 +1,23 @@
+"""Discrete-event message-passing substrate used by the MCS protocols."""
+
+from .events import Event, EventQueue
+from .latency import ConstantLatency, LatencyModel, LogNormalLatency, PairwiseLatency, UniformLatency
+from .message import Message, estimate_size
+from .network import Network
+from .simulator import Simulator
+from .stats import NetworkStats
+
+__all__ = [
+    "ConstantLatency",
+    "Event",
+    "EventQueue",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "PairwiseLatency",
+    "Simulator",
+    "UniformLatency",
+    "estimate_size",
+]

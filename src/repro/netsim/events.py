@@ -1,0 +1,65 @@
+"""Event queue of the discrete-event simulator.
+
+Events are ``(time, priority, sequence, callback)`` records kept in a binary
+heap.  The ``sequence`` counter guarantees a deterministic FIFO tie-break for
+events scheduled at the same instant, which is essential for reproducible
+protocol traces (the whole reproduction pipeline — protocol run, recorded
+history, consistency check, report — must be bit-for-bit repeatable for a
+given seed).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback."""
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A time-ordered queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` at ``time``; lower ``priority`` runs first on ties."""
+        event = Event(time, priority, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

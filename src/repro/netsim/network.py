@@ -1,0 +1,97 @@
+"""The message-passing network connecting MCS processes.
+
+The network provides reliable point-to-point channels with configurable
+latency; channels are FIFO by default (per ordered pair of processes), which
+is the quality of service the paper's reference protocols assume ([5]).  A
+non-FIFO mode is available for the ablation benchmarks (the PRAM protocol then
+has to buffer and reorder on per-sender sequence numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+from ..exceptions import SimulationError
+from .latency import ConstantLatency, LatencyModel
+from .message import Message
+from .simulator import Simulator
+from .stats import NetworkStats
+
+
+class Receiver(Protocol):
+    """Anything that can be registered as a network endpoint."""
+
+    def on_message(self, message: Message) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Network:
+    """Reliable (optionally FIFO) message-passing network."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: Optional[LatencyModel] = None,
+        fifo: bool = True,
+        record_trace: bool = False,
+    ):
+        self.simulator = simulator
+        self.latency = latency or ConstantLatency(1.0)
+        self.fifo = fifo
+        self.stats = NetworkStats()
+        self.record_trace = record_trace
+        self.trace: List[Message] = []
+        self._nodes: Dict[int, Receiver] = {}
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+
+    # -- membership -------------------------------------------------------------
+    def register(self, node_id: int, node: Receiver) -> None:
+        """Register ``node`` as the endpoint for ``node_id``."""
+        if node_id in self._nodes:
+            raise SimulationError(f"node {node_id} registered twice")
+        self._nodes[node_id] = node
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        """Registered process identifiers."""
+        return tuple(sorted(self._nodes))
+
+    # -- transmission --------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Send ``message``; delivery is scheduled on the simulator."""
+        if message.dst not in self._nodes:
+            raise SimulationError(f"unknown destination {message.dst}")
+        if message.src == message.dst:
+            raise SimulationError("a process does not send messages to itself")
+        message.sent_at = self.simulator.now
+        self.stats.record_send(message)
+        delay = self.latency.sample(message.src, message.dst)
+        delivery_time = self.simulator.now + delay
+        if self.fifo:
+            channel = (message.src, message.dst)
+            floor = self._last_delivery.get(channel, 0.0)
+            delivery_time = max(delivery_time, floor + 1e-9)
+            self._last_delivery[channel] = delivery_time
+
+        def deliver(msg: Message = message) -> None:
+            msg.delivered_at = self.simulator.now
+            self.stats.record_delivery(msg)
+            if self.record_trace:
+                self.trace.append(msg)
+            self._nodes[msg.dst].on_message(msg)
+
+        self.simulator.schedule_at(delivery_time, deliver)
+
+    def multicast(self, src: int, destinations, template: Callable[[int], Message]) -> int:
+        """Send one message per destination (excluding ``src``); returns the count."""
+        sent = 0
+        for dst in sorted(destinations):
+            if dst == src:
+                continue
+            self.send(template(dst))
+            sent += 1
+        return sent
+
+    def broadcast(self, src: int, template: Callable[[int], Message]) -> int:
+        """Send one message to every other registered node."""
+        return self.multicast(src, self.node_ids, template)

@@ -1,0 +1,97 @@
+"""Discrete-event simulator driving the message-passing substrate.
+
+The simulator owns the virtual clock and the event queue.  Network channels
+and the DSM runtime schedule callbacks on it (message deliveries, application
+steps); :meth:`Simulator.run` processes events in timestamp order until the
+queue drains, a time horizon is reached or an event budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..exceptions import SimulationError
+from .events import Event, EventQueue
+
+
+class Simulator:
+    """Deterministic discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._processed = 0
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._queue)
+
+    # -- scheduling --------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self._now + delay, callback, priority)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past (time={time}, now={self._now})")
+        return self._queue.push(time, callback, priority)
+
+    # -- execution ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event; return ``False`` when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event queue yielded an event from the past")
+        self._now = event.time
+        self._processed += 1
+        event.callback()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events in order; return the number of events processed by this call.
+
+        Parameters
+        ----------
+        until:
+            Stop (without executing) at the first event strictly later than
+            this virtual time.
+        max_events:
+            Budget of events for this call; a :class:`SimulationError` is
+            raised when it is exhausted while events remain (a guard against
+            livelocked protocols or programs).
+        """
+        processed = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                return processed
+            if until is not None and next_time > until:
+                self._now = until
+                return processed
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted ({max_events} events) at t={self._now}"
+                )
+            self.step()
+            processed += 1

@@ -1,0 +1,81 @@
+"""Network-level statistics: message and byte accounting.
+
+:class:`NetworkStats` is filled in by :class:`~repro.netsim.network.Network`
+on every send/delivery; the MCS metric layer (:mod:`repro.mcs.metrics`)
+post-processes it against a variable distribution to derive the
+paper-specific efficiency measures (control bytes received about variables a
+process does not replicate, observed x-relevance sets, ...).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .message import Message
+
+
+@dataclass
+class NetworkStats:
+    """Counters accumulated by the network."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    payload_bytes: int = 0
+    control_bytes: int = 0
+    by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    by_pair: Dict[Tuple[int, int], int] = field(default_factory=lambda: defaultdict(int))
+    control_bytes_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    received_by_process: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    received_variable_messages: Dict[Tuple[int, str], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    received_variable_control_bytes: Dict[Tuple[int, str], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    def record_send(self, message: Message) -> None:
+        """Account for a message handed to the network."""
+        self.messages_sent += 1
+        self.payload_bytes += message.payload_bytes
+        self.control_bytes += message.control_bytes
+        self.by_kind[message.kind] += 1
+        self.by_pair[(message.src, message.dst)] += 1
+        self.control_bytes_by_kind[message.kind] += message.control_bytes
+
+    def record_delivery(self, message: Message) -> None:
+        """Account for a message delivered to its destination."""
+        self.messages_delivered += 1
+        self.received_by_process[message.dst] += 1
+        if message.variable is not None:
+            key = (message.dst, message.variable)
+            self.received_variable_messages[key] += 1
+            self.received_variable_control_bytes[key] += message.control_bytes
+
+    # -- derived metrics -----------------------------------------------------
+    def total_bytes(self) -> int:
+        """Payload plus control bytes sent."""
+        return self.payload_bytes + self.control_bytes
+
+    def control_overhead_ratio(self) -> float:
+        """Control bytes divided by payload bytes (``inf`` when no payload)."""
+        if self.payload_bytes == 0:
+            return float("inf") if self.control_bytes else 0.0
+        return self.control_bytes / self.payload_bytes
+
+    def variables_seen_by(self, process: int) -> Tuple[str, ...]:
+        """Variables about which ``process`` received at least one message."""
+        return tuple(
+            sorted({var for (dst, var) in self.received_variable_messages if dst == process})
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary used by reports and benchmarks."""
+        return {
+            "messages_sent": float(self.messages_sent),
+            "messages_delivered": float(self.messages_delivered),
+            "payload_bytes": float(self.payload_bytes),
+            "control_bytes": float(self.control_bytes),
+            "control_overhead_ratio": self.control_overhead_ratio(),
+        }

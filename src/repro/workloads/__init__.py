@@ -1,0 +1,46 @@
+"""Workload, distribution and topology generators."""
+
+from .access_patterns import (
+    Access,
+    run_script,
+    run_workload,
+    single_writer_script,
+    uniform_access_script,
+)
+from .distributions import (
+    chain_distribution,
+    disjoint_blocks,
+    full_replication,
+    neighbourhood_distribution,
+    random_distribution,
+)
+from .random_history import random_history, serial_history
+from .topology import (
+    INFINITY,
+    WeightedDigraph,
+    figure8_network,
+    line_network,
+    random_network,
+    ring_network,
+)
+
+__all__ = [
+    "Access",
+    "INFINITY",
+    "WeightedDigraph",
+    "chain_distribution",
+    "disjoint_blocks",
+    "figure8_network",
+    "full_replication",
+    "line_network",
+    "neighbourhood_distribution",
+    "random_distribution",
+    "random_history",
+    "random_network",
+    "ring_network",
+    "run_script",
+    "run_workload",
+    "serial_history",
+    "single_writer_script",
+    "uniform_access_script",
+]

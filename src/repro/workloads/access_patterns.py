@@ -1,0 +1,134 @@
+"""Synthetic access-pattern drivers for the protocol overhead experiments.
+
+These drivers exercise an :class:`~repro.mcs.MCSystem` directly (no
+application program involved): each process performs a scripted mix of reads
+and writes on the variables it replicates, interleaved with network
+deliveries.  They are the workload generators behind the efficiency benchmarks
+of Section 3.3: the same scripted accesses are replayed against every protocol
+so that the message/byte accounting is an apples-to-apples comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.distribution import VariableDistribution
+from ..exceptions import RetryOperation
+from ..mcs.system import MCSystem
+from ..netsim.latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class Access:
+    """One scripted shared-memory access."""
+
+    process: int
+    kind: str  # "read" | "write"
+    variable: str
+    value: Optional[str] = None
+
+
+def uniform_access_script(
+    distribution: VariableDistribution,
+    operations_per_process: int = 20,
+    write_fraction: float = 0.5,
+    seed: int = 0,
+) -> List[Access]:
+    """A random interleaving of accesses, each process touching only its variables."""
+    rng = random.Random(seed)
+    script: List[Access] = []
+    counter = 0
+    per_process: Dict[int, int] = {p: 0 for p in distribution.processes}
+    active = [p for p in distribution.processes if distribution.variables_of(p)]
+    while active:
+        pid = rng.choice(active)
+        variables = sorted(distribution.variables_of(pid))
+        var = rng.choice(variables)
+        if rng.random() < write_fraction:
+            script.append(Access(pid, "write", var, f"{var}@{pid}#{counter}"))
+            counter += 1
+        else:
+            script.append(Access(pid, "read", var))
+        per_process[pid] += 1
+        if per_process[pid] >= operations_per_process:
+            active.remove(pid)
+    return script
+
+
+def single_writer_script(
+    distribution: VariableDistribution,
+    writes_per_variable: int = 10,
+    reads_per_replica: int = 10,
+    seed: int = 0,
+) -> List[Access]:
+    """Each variable written only by its lowest-id holder (the PRAM-friendly pattern).
+
+    This is the pattern the paper's case study relies on (Section 6): with a
+    single writer per variable, PRAM consistency is enough for the application
+    to behave as intended.
+    """
+    rng = random.Random(seed)
+    script: List[Access] = []
+    counter = 0
+    for var in distribution.variables:
+        holders = sorted(distribution.holders(var))
+        writer = holders[0]
+        readers = holders[1:] or holders
+        for k in range(writes_per_variable):
+            script.append(Access(writer, "write", var, f"{var}#{counter}"))
+            counter += 1
+            for _ in range(max(1, reads_per_replica // max(writes_per_variable, 1))):
+                script.append(Access(rng.choice(readers), "read", var))
+    rng.shuffle(script)
+    return script
+
+
+def run_script(
+    system: MCSystem,
+    script: Sequence[Access],
+    settle_every: int = 1,
+    max_retries: int = 1_000,
+) -> None:
+    """Replay a script against a system, letting the network advance in between.
+
+    Blocking reads (sequencer-based protocol) are retried after advancing the
+    simulation; ``max_retries`` guards against protocol deadlocks.
+    """
+    for idx, access in enumerate(script):
+        process = system.process(access.process)
+        if access.kind == "write":
+            process.write(access.variable, access.value)
+        else:
+            retries = 0
+            while True:
+                try:
+                    process.read(access.variable)
+                    break
+                except RetryOperation:
+                    retries += 1
+                    if retries > max_retries:
+                        raise
+                    system.simulator.run(until=system.simulator.now + 1.0)
+        if settle_every and (idx + 1) % settle_every == 0:
+            system.simulator.run(until=system.simulator.now + 0.25)
+    system.settle()
+
+
+def run_workload(
+    distribution: VariableDistribution,
+    protocol: str,
+    script: Sequence[Access],
+    latency: Optional[LatencyModel] = None,
+    protocol_options: Optional[Dict[str, object]] = None,
+) -> MCSystem:
+    """Build a system for ``protocol``, replay ``script`` on it and settle it."""
+    system = MCSystem(
+        distribution,
+        protocol=protocol,
+        latency=latency,
+        protocol_options=protocol_options,
+    )
+    run_script(system, script)
+    return system

@@ -1,0 +1,101 @@
+"""Generators of variable distributions (who replicates what).
+
+The paper's analysis depends only on the distribution of variables over
+processes (the share graph is built from it), so the relevance and overhead
+studies sweep over families of distributions:
+
+* ``full_replication`` — the classical setting the paper starts from;
+* ``disjoint_blocks`` — hoop-free partitions (each variable lives in exactly
+  one group of processes that shares nothing with other groups);
+* ``chain_distribution`` — the canonical hoop factory: consecutive processes
+  share a relay variable and the two endpoints share the studied variable
+  (generalising the paper's Figure 2);
+* ``random_distribution`` — each variable is replicated at a random subset of
+  processes of a given size;
+* ``neighbourhood_distribution`` — the Bellman-Ford pattern: one variable per
+  process, replicated at the owner and the processes that read it
+  (Section 6).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..core.distribution import VariableDistribution
+from .topology import WeightedDigraph
+
+
+def full_replication(processes: int, variables: int) -> VariableDistribution:
+    """Every process replicates every variable."""
+    names = [f"x{i}" for i in range(variables)]
+    return VariableDistribution.full_replication(range(processes), names)
+
+
+def disjoint_blocks(groups: int, group_size: int, variables_per_group: int = 1) -> VariableDistribution:
+    """Hoop-free distribution: ``groups`` disjoint clusters of processes.
+
+    Every variable is replicated at every process of exactly one cluster and
+    clusters share no variable, so the share graph is a disjoint union of
+    cliques and no hoop can exist.
+    """
+    per_process: Dict[int, Set[str]] = {}
+    for g in range(groups):
+        vars_ = {f"g{g}_v{k}" for k in range(variables_per_group)}
+        for member in range(group_size):
+            per_process[g * group_size + member] = set(vars_)
+    return VariableDistribution(per_process)
+
+
+def chain_distribution(intermediates: int, studied_variable: str = "x") -> VariableDistribution:
+    """The hoop pattern of the paper's Figure 2, parameterised by its length.
+
+    Process 0 and process ``intermediates + 1`` replicate the studied variable
+    ``x``; each consecutive pair along the chain shares a relay variable
+    ``y0, y1, ...`` not equal to ``x``.  Every intermediate process lies on an
+    x-hoop and is therefore x-relevant by Theorem 1 despite never accessing
+    ``x``.
+    """
+    if intermediates < 0:
+        raise ValueError("intermediates must be >= 0")
+    last = intermediates + 1
+    per_process: Dict[int, Set[str]] = {pid: set() for pid in range(last + 1)}
+    per_process[0].add(studied_variable)
+    per_process[last].add(studied_variable)
+    for idx in range(intermediates + 1):
+        relay = f"y{idx}"
+        per_process[idx].add(relay)
+        per_process[idx + 1].add(relay)
+    return VariableDistribution(per_process)
+
+
+def random_distribution(
+    processes: int,
+    variables: int,
+    replicas_per_variable: int = 2,
+    seed: int = 0,
+) -> VariableDistribution:
+    """Each variable replicated at a random subset of the given size."""
+    if not 1 <= replicas_per_variable <= processes:
+        raise ValueError("replicas_per_variable must be in [1, processes]")
+    rng = random.Random(seed)
+    holders: Dict[str, List[int]] = {}
+    for v in range(variables):
+        holders[f"x{v}"] = rng.sample(range(processes), replicas_per_variable)
+    return VariableDistribution.from_holders(holders, processes=range(processes))
+
+
+def neighbourhood_distribution(graph: WeightedDigraph, prefix: str = "x") -> VariableDistribution:
+    """One variable per node, replicated at the node and its successors.
+
+    This is the access pattern of the distributed Bellman-Ford algorithm
+    (Section 6): node ``i`` owns ``x_i`` and every node that uses ``x_i`` in
+    its relaxation step (the successors of ``i``) replicates it too.
+    """
+    per_process: Dict[int, Set[str]] = {node: set() for node in graph.nodes}
+    for node in graph.nodes:
+        var = f"{prefix}{node}"
+        per_process[node].add(var)
+        for succ in graph.successors(node):
+            per_process[succ].add(var)
+    return VariableDistribution(per_process)

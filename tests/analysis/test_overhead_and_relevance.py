@@ -1,0 +1,97 @@
+"""Tests of the quantitative efficiency studies (paper, Section 3.3)."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    DEFAULT_PROTOCOLS,
+    comparison_table,
+    protocol_comparison,
+    replication_degree_sweep,
+    run_protocol,
+    scaling_sweep,
+)
+from repro.analysis.relevance_study import (
+    measure_distribution,
+    relevance_sweep,
+    relevance_table,
+    structured_comparison,
+)
+from repro.core.share_graph import ShareGraph
+from repro.workloads.access_patterns import uniform_access_script
+from repro.workloads.distributions import chain_distribution, disjoint_blocks, random_distribution
+
+
+class TestProtocolComparison:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return protocol_comparison(operations_per_process=6, seed=1)
+
+    def test_every_protocol_present_and_consistent(self, runs):
+        assert {r.protocol for r in runs} == set(DEFAULT_PROTOCOLS)
+        for run in runs:
+            assert run.consistent, run.protocol
+
+    def test_pram_is_the_most_frugal_protocol(self, runs):
+        by_name = {r.protocol: r for r in runs}
+        pram = by_name["pram_partial"]
+        assert pram.report.irrelevant_messages == 0
+        assert pram.irrelevant_relevance_violations == 0
+        for other in ("causal_partial", "causal_full", "sequencer_sc"):
+            assert by_name[other].report.control_bytes >= pram.report.control_bytes
+
+    def test_full_replication_contacts_irrelevant_processes(self, runs):
+        by_name = {r.protocol: r for r in runs}
+        assert by_name["causal_full"].report.irrelevant_messages > 0
+
+    def test_comparison_table_renders(self, runs):
+        table = comparison_table(runs)
+        assert "pram_partial" in table and "ctrl_B/msg" in table
+
+    def test_run_protocol_single(self):
+        dist = random_distribution(processes=4, variables=4, replicas_per_variable=2, seed=2)
+        script = uniform_access_script(dist, operations_per_process=4, seed=2)
+        run = run_protocol(dist, "pram_partial", script)
+        assert run.criterion == "pram"
+        assert run.consistent
+
+
+class TestSweeps:
+    def test_scaling_sweep_shows_growing_causal_control_cost(self):
+        rows = scaling_sweep(process_counts=(4, 8), operations_per_process=4,
+                             protocols=("pram_partial", "causal_full"))
+        assert len(rows) == 4
+        pram_rows = [r for r in rows if r["protocol"] == "pram_partial"]
+        causal_rows = [r for r in rows if r["protocol"] == "causal_full"]
+        # The PRAM control cost per message is essentially flat; the
+        # vector-clock cost grows with the number of processes.
+        assert causal_rows[-1]["ctrl_B/msg"] > causal_rows[0]["ctrl_B/msg"]
+        assert abs(pram_rows[-1]["ctrl_B/msg"] - pram_rows[0]["ctrl_B/msg"]) < 8
+
+    def test_replication_degree_sweep_rows(self):
+        rows = replication_degree_sweep(degrees=(1, 2), processes=4, variables=4,
+                                        operations_per_process=4,
+                                        protocols=("pram_partial",))
+        assert {r["replication_degree"] for r in rows} == {1, 2}
+
+
+class TestRelevanceStudy:
+    def test_measure_distribution_on_known_cases(self):
+        chain = measure_distribution(ShareGraph(chain_distribution(3)))
+        assert chain["avg_hoop_process_fraction"] > 0
+        blocks = measure_distribution(ShareGraph(disjoint_blocks(2, 3)))
+        assert blocks["avg_hoop_process_fraction"] == 0
+        assert blocks["variables_with_hoops_fraction"] == 0
+
+    def test_relevance_sweep_shape(self):
+        points = relevance_sweep(process_counts=(4, 6), samples=2)
+        assert [p.processes for p in points] == [4, 6]
+        for point in points:
+            assert 0 <= point.avg_relevance_fraction <= 1
+        table = relevance_table(points)
+        assert "relevant_frac" in table
+
+    def test_structured_comparison(self):
+        rows = structured_comparison(processes=6)
+        by_name = {r["distribution"]: r for r in rows}
+        assert by_name["disjoint blocks (hoop-free)"]["hoop_proc_frac"] == 0
+        assert by_name["chain / hoop"]["hoop_proc_frac"] > 0

@@ -1,0 +1,47 @@
+"""Unit tests for the plain-text / markdown table renderers."""
+
+from repro.analysis.report import markdown_table, render_mapping, render_table
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "(empty)" in render_table([])
+        assert "title" in render_table([], title="title")
+
+    def test_alignment_and_columns(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        table = render_table(rows, title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_extra_columns_discovered(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        table = render_table(rows)
+        assert "b" in table
+
+    def test_float_formatting(self):
+        table = render_table([{"v": 0.123456}, {"v": float("inf")}, {"v": float("nan")}])
+        assert "0.123" in table and "inf" in table and "nan" in table
+
+    def test_sequence_formatting(self):
+        table = render_table([{"procs": (3, 1, 2)}])
+        assert "[1, 2, 3]" in table
+
+
+class TestOtherRenderers:
+    def test_render_mapping(self):
+        text = render_mapping({"alpha": 1, "beta": 2.5}, title="M")
+        assert text.startswith("M")
+        assert "alpha" in text and "2.5" in text
+
+    def test_markdown_table(self):
+        text = markdown_table([{"a": 1, "b": 2}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1].startswith("|")
+        assert "| 1 | 2 |" in lines[2]
+
+    def test_markdown_empty(self):
+        assert markdown_table([]) == "(empty)"

@@ -1,0 +1,70 @@
+"""Unit tests for the centralised shortest-path baselines."""
+
+import pytest
+
+from repro.apps.reference import bellman_ford, bellman_ford_steps, dijkstra, shortest_path_tree
+from repro.workloads.topology import INFINITY, WeightedDigraph, figure8_network, random_network
+
+
+class TestBellmanFord:
+    def test_figure8_distances(self):
+        graph = figure8_network()
+        dist = bellman_ford(graph, source=1)
+        assert dist[1] == 0
+        assert dist[3] == 1.0           # 1 -> 3
+        assert dist[2] == 3.0           # 1 -> 3 -> 2
+        assert dist[4] == 3.0           # 1 -> 3 -> 4
+        assert dist[5] == 4.0           # 1 -> 3 -> 5
+
+    def test_unreachable_nodes_stay_infinite(self):
+        graph = WeightedDigraph()
+        graph.add_edge(1, 2, 1.0)
+        graph.add_node(3)
+        dist = bellman_ford(graph, source=1)
+        assert dist[3] == INFINITY
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            bellman_ford(figure8_network(), source=99)
+
+    def test_steps_converge_monotonically(self):
+        graph = figure8_network()
+        steps = bellman_ford_steps(graph, source=1)
+        assert len(steps) == graph.node_count + 1
+        final = steps[-1]
+        for earlier, later in zip(steps, steps[1:]):
+            for node in graph.nodes:
+                assert later[node] <= earlier[node]
+        assert final == bellman_ford(graph, source=1)
+
+
+class TestDijkstraAgreement:
+    def test_dijkstra_matches_bellman_ford_on_figure8(self):
+        graph = figure8_network()
+        assert dijkstra(graph, source=1) == bellman_ford(graph, source=1)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_agreement_on_random_networks(self, seed):
+        graph = random_network(nodes=12, extra_edges=8, seed=seed)
+        bf = bellman_ford(graph, source=1)
+        dj = dijkstra(graph, source=1)
+        for node in graph.nodes:
+            assert bf[node] == pytest.approx(dj[node])
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            dijkstra(figure8_network(), source=42)
+
+
+class TestShortestPathTree:
+    def test_tree_reaches_every_node_with_correct_costs(self):
+        graph = figure8_network()
+        parent = shortest_path_tree(graph, source=1)
+        dist = dijkstra(graph, source=1)
+        assert parent[1] is None
+        for node in graph.nodes:
+            if node == 1:
+                continue
+            pred = parent[node]
+            assert pred is not None
+            assert dist[pred] + graph.weight(pred, node) == pytest.approx(dist[node])

@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.core.distribution`."""
+
+import pytest
+
+from repro.core.distribution import VariableDistribution
+from repro.core.history import HistoryBuilder
+from repro.exceptions import DistributionError
+
+
+def paper_figure1_distribution():
+    return VariableDistribution({1: {"x1", "x2"}, 2: {"x1"}, 3: {"x2"}})
+
+
+class TestConstruction:
+    def test_basic_accessors(self):
+        dist = paper_figure1_distribution()
+        assert dist.processes == (1, 2, 3)
+        assert dist.variables == ("x1", "x2")
+        assert dist.variables_of(1) == frozenset({"x1", "x2"})
+        assert dist.holders("x1") == frozenset({1, 2})
+        assert dist.holds(3, "x2") and not dist.holds(3, "x1")
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(DistributionError):
+            VariableDistribution({})
+
+    def test_from_holders(self):
+        dist = VariableDistribution.from_holders({"x": [0, 1], "y": [1, 2]}, processes=[0, 1, 2, 3])
+        assert dist.holders("x") == frozenset({0, 1})
+        assert dist.variables_of(3) == frozenset()
+        assert 3 in dist.processes
+
+    def test_full_replication(self):
+        dist = VariableDistribution.full_replication([0, 1, 2], ["a", "b"])
+        assert dist.is_fully_replicated()
+        assert dist.replication_degree("a") == 3
+
+    def test_unknown_process_and_variable(self):
+        dist = paper_figure1_distribution()
+        with pytest.raises(DistributionError):
+            dist.variables_of(9)
+        with pytest.raises(DistributionError):
+            dist.holders("nope")
+
+
+class TestMetrics:
+    def test_shared_variables(self):
+        dist = paper_figure1_distribution()
+        assert dist.shared_variables(1, 2) == frozenset({"x1"})
+        assert dist.shared_variables(2, 3) == frozenset()
+
+    def test_average_replication_degree(self):
+        dist = paper_figure1_distribution()
+        assert dist.average_replication_degree() == pytest.approx(2.0)
+
+    def test_total_replicas(self):
+        assert paper_figure1_distribution().total_replicas() == 4
+
+    def test_not_fully_replicated(self):
+        assert not paper_figure1_distribution().is_fully_replicated()
+
+
+class TestValidationAndMisc:
+    def test_validate_history_accepts_conforming(self):
+        dist = paper_figure1_distribution()
+        b = HistoryBuilder()
+        b.write(1, "x1", "a").read(2, "x1", "a").read(3, "x2")
+        dist.validate_history(b.build())
+
+    def test_validate_history_rejects_foreign_access(self):
+        dist = paper_figure1_distribution()
+        b = HistoryBuilder()
+        b.write(3, "x1", "oops")
+        with pytest.raises(DistributionError):
+            dist.validate_history(b.build())
+
+    def test_restricted_to(self):
+        dist = paper_figure1_distribution()
+        sub = dist.restricted_to([1, 2])
+        assert sub.processes == (1, 2)
+        assert sub.holders("x1") == frozenset({1, 2})
+
+    def test_equality_and_hash(self):
+        a = paper_figure1_distribution()
+        b = paper_figure1_distribution()
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != VariableDistribution({1: {"x1"}})
+
+    def test_describe(self):
+        text = paper_figure1_distribution().describe()
+        assert "X_1" in text and "x1" in text

@@ -1,0 +1,99 @@
+"""Unit tests for the labelled graph used by the share-graph machinery."""
+
+from repro.core.graphlib import LabelledGraph
+
+
+def triangle() -> LabelledGraph:
+    g = LabelledGraph()
+    g.add_edge(1, 2, "a")
+    g.add_edge(2, 3, "b")
+    g.add_edge(1, 3, "c")
+    return g
+
+
+class TestConstruction:
+    def test_vertices_and_edges(self):
+        g = triangle()
+        assert g.vertices == (1, 2, 3)
+        assert g.edge_count() == 3
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert not g.has_edge(1, 4)
+
+    def test_self_loops_ignored(self):
+        g = LabelledGraph()
+        g.add_edge(1, 1, "a")
+        assert g.edge_count() == 0
+
+    def test_labels_accumulate(self):
+        g = LabelledGraph()
+        g.add_edge(1, 2, "a")
+        g.add_edge(1, 2, "b")
+        assert g.labels(1, 2) == frozenset({"a", "b"})
+        assert g.labels(1, 3) == frozenset()
+
+    def test_neighbours_and_degree(self):
+        g = triangle()
+        assert g.neighbours(1) == (2, 3)
+        assert g.degree(1) == 2
+        assert g.degree(99) == 0
+
+    def test_isolated_vertex(self):
+        g = triangle()
+        g.add_vertex(7)
+        assert 7 in g.vertices
+        assert g.neighbours(7) == ()
+
+
+class TestTraversals:
+    def test_connected_components(self):
+        g = LabelledGraph()
+        g.add_edge(1, 2, "a")
+        g.add_edge(3, 4, "b")
+        g.add_vertex(5)
+        comps = sorted(sorted(c) for c in g.connected_components())
+        assert comps == [[1, 2], [3, 4], [5]]
+
+    def test_connected_components_with_edge_filter(self):
+        g = LabelledGraph()
+        g.add_edge(1, 2, "a")
+        g.add_edge(2, 3, "forbidden")
+        comps = g.connected_components(
+            edge_filter=lambda u, v, labels: "forbidden" not in labels
+        )
+        assert {frozenset(c) for c in comps} == {frozenset({1, 2}), frozenset({3})}
+
+    def test_connected_components_restricted_vertices(self):
+        g = triangle()
+        comps = g.connected_components(vertices=[1, 2])
+        assert comps == [{1, 2}]
+
+    def test_simple_paths_basic(self):
+        g = triangle()
+        paths = sorted(g.simple_paths(1, 3))
+        assert [1, 3] in paths
+        assert [1, 2, 3] in paths
+
+    def test_simple_paths_respects_allowed_set(self):
+        g = triangle()
+        paths = list(g.simple_paths(1, 3, allowed=set()))
+        assert paths == [[1, 3]]
+
+    def test_simple_paths_respects_edge_filter(self):
+        g = triangle()
+        paths = list(
+            g.simple_paths(1, 3, edge_filter=lambda u, v, labels: "c" not in labels)
+        )
+        assert paths == [[1, 2, 3]]
+
+    def test_simple_paths_max_length(self):
+        g = triangle()
+        paths = list(g.simple_paths(1, 3, max_length=1))
+        assert paths == [[1, 3]]
+
+    def test_simple_paths_max_paths(self):
+        g = triangle()
+        assert len(list(g.simple_paths(1, 3, max_paths=1))) == 1
+
+    def test_simple_paths_unknown_vertices(self):
+        g = triangle()
+        assert list(g.simple_paths(1, 99)) == []

@@ -1,0 +1,130 @@
+"""Unit tests for :mod:`repro.core.history`."""
+
+import pytest
+
+from repro.core.history import History, HistoryBuilder, LocalHistory
+from repro.core.operations import BOTTOM, Operation
+from repro.exceptions import AmbiguousReadFromError, InvalidHistoryError
+
+
+def small_history() -> History:
+    b = HistoryBuilder()
+    b.write(1, "x", "a").write(1, "y", "b")
+    b.read(2, "x", "a").write(2, "y", "c")
+    b.read(3, "y", BOTTOM)
+    return b.build()
+
+
+class TestLocalHistory:
+    def test_rejects_foreign_operations(self):
+        op = Operation.write(2, "x", 1, index=0)
+        with pytest.raises(InvalidHistoryError):
+            LocalHistory(1, (op,))
+
+    def test_rejects_wrong_indices(self):
+        op = Operation.write(1, "x", 1, index=5)
+        with pytest.raises(InvalidHistoryError):
+            LocalHistory(1, (op,))
+
+    def test_program_precedes(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a").read(1, "x", "a")
+        h = b.build().local(1)
+        first, second = h.operations
+        assert h.program_precedes(first, second)
+        assert not h.program_precedes(second, first)
+
+    def test_writes_and_reads_views(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a").read(1, "x", "a").write(1, "y", "b")
+        local = b.build().local(1)
+        assert [op.label() for op in local.writes] == ["w1(x)'a'", "w1(y)'b'"]
+        assert len(local.reads) == 1
+
+
+class TestHistory:
+    def test_operations_and_counts(self):
+        h = small_history()
+        assert len(h) == 5
+        assert len(h.writes) == 3
+        assert len(h.reads) == 2
+        assert h.processes == (1, 2, 3)
+        assert h.variables == ("x", "y")
+
+    def test_local_unknown_process_raises(self):
+        with pytest.raises(InvalidHistoryError):
+            small_history().local(99)
+
+    def test_sub_history_plus_writes(self):
+        h = small_history()
+        view = h.sub_history_plus_writes(3)
+        labels = {op.label() for op in view}
+        # p3's single read plus every write of the history.
+        assert labels == {"w1(x)'a'", "w1(y)'b'", "w2(y)'c'", "r3(y)⊥"}
+
+    def test_writes_on_and_operations_on(self):
+        h = small_history()
+        assert len(h.writes_on("y")) == 2
+        assert len(h.operations_on("x")) == 2
+
+    def test_read_from_inference(self):
+        h = small_history()
+        rf = h.read_from()
+        read_x = next(op for op in h.reads if op.variable == "x")
+        read_y = next(op for op in h.reads if op.variable == "y")
+        assert rf[read_x].label() == "w1(x)'a'"
+        assert rf[read_y] is None
+
+    def test_read_from_rejects_unwritten_value(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a")
+        b.read(2, "x", "never-written")
+        with pytest.raises(InvalidHistoryError):
+            b.build().read_from()
+
+    def test_read_from_rejects_ambiguous_values(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a").write(2, "x", "a")
+        b.read(3, "x", "a")
+        history = b.build()
+        assert not history.is_differentiated()
+        with pytest.raises(AmbiguousReadFromError):
+            history.read_from()
+
+    def test_is_differentiated(self):
+        assert small_history().is_differentiated()
+
+    def test_accessed_variables(self):
+        h = small_history()
+        assert h.accessed_variables(2) == {"x", "y"}
+        assert h.accessed_variables(3) == {"y"}
+
+    def test_describe_mentions_every_process(self):
+        text = small_history().describe()
+        assert "p1:" in text and "p2:" in text and "p3:" in text
+
+    def test_restrict_preserves_order(self):
+        h = small_history()
+        subset = h.restrict(h.writes)
+        assert subset == h.writes
+
+
+class TestHistoryBuilder:
+    def test_declare_empty_process(self):
+        b = HistoryBuilder()
+        b.process(7)
+        b.write(1, "x", "a")
+        h = b.build()
+        assert 7 in h.processes
+        assert len(h.local(7)) == 0
+
+    def test_last(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a").read(1, "x", "a")
+        assert b.last(1).is_read
+
+    def test_indices_follow_program_order(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a").read(1, "x", "a").write(1, "y", "b")
+        ops = b.build().local(1).operations
+        assert [op.index for op in ops] == [0, 1, 2]

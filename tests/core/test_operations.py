@@ -1,0 +1,77 @@
+"""Unit tests for :mod:`repro.core.operations`."""
+
+import pickle
+
+import pytest
+
+from repro.core.operations import BOTTOM, Operation, OpKind, value_key
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert BOTTOM is type(BOTTOM)()
+
+    def test_repr(self):
+        assert "⊥" in repr(BOTTOM)
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+
+class TestOperation:
+    def test_write_constructor(self):
+        op = Operation.write(1, "x", "a", index=3)
+        assert op.kind is OpKind.WRITE
+        assert op.is_write and not op.is_read
+        assert (op.process, op.variable, op.value, op.index) == (1, "x", "a", 3)
+
+    def test_read_constructor_defaults_to_bottom(self):
+        op = Operation.read(2, "y")
+        assert op.is_read
+        assert op.value is BOTTOM
+        assert op.reads_initial_value
+
+    def test_read_of_written_value_is_not_initial(self):
+        assert not Operation.read(2, "y", "v").reads_initial_value
+
+    def test_uids_are_unique(self):
+        a = Operation.write(0, "x", 1)
+        b = Operation.write(0, "x", 1)
+        assert a.uid != b.uid
+        assert a != b
+
+    def test_equality_is_identity_based(self):
+        a = Operation.write(0, "x", 1)
+        assert a == a
+        assert a != Operation.write(0, "x", 1)
+        assert a != "not an operation"
+
+    def test_hashable_and_usable_in_sets(self):
+        ops = {Operation.write(0, "x", 1), Operation.read(0, "x", 1)}
+        assert len(ops) == 2
+
+    def test_same_variable(self):
+        w = Operation.write(0, "x", 1)
+        r = Operation.read(1, "x", 1)
+        other = Operation.read(1, "y")
+        assert w.same_variable(r)
+        assert not w.same_variable(other)
+
+    def test_label_follows_paper_notation(self):
+        assert Operation.write(1, "x", "a").label() == "w1(x)'a'"
+        assert Operation.read(3, "y", "c").label() == "r3(y)'c'"
+
+    def test_timestamps_optional(self):
+        op = Operation.write(0, "x", 1, invoked_at=1.5, completed_at=2.0)
+        assert op.invoked_at == 1.5
+        assert op.completed_at == 2.0
+
+
+class TestValueKey:
+    def test_accepts_hashable(self):
+        assert value_key(("a", 1)) == ("a", 1)
+        assert value_key(BOTTOM) is BOTTOM
+
+    def test_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            value_key(["list", "not", "hashable"])

@@ -1,0 +1,273 @@
+"""Unit tests for the order relations of :mod:`repro.core.orders`."""
+
+import pytest
+
+from repro.core.history import HistoryBuilder
+from repro.core.operations import BOTTOM, Operation
+from repro.core.orders import (
+    Relation,
+    causal_order,
+    full_program_order,
+    lazy_causal_order,
+    lazy_program_order,
+    lazy_semi_causal_order,
+    lazy_writes_before,
+    pram_generating_order,
+    pram_relation,
+    program_order,
+    read_from_order,
+    slow_relation,
+)
+
+
+def chain_history():
+    """p1 writes x then y; p2 reads y then writes z; p3 reads z."""
+    b = HistoryBuilder()
+    b.write(1, "x", "a").write(1, "y", "b")
+    b.read(2, "y", "b").write(2, "z", "c")
+    b.read(3, "z", "c")
+    return b.build()
+
+
+class TestRelation:
+    def test_add_and_precedes(self):
+        h = chain_history()
+        ops = h.operations
+        rel = Relation(ops)
+        rel.add(ops[0], ops[1])
+        assert rel.precedes(ops[0], ops[1])
+        assert not rel.precedes(ops[1], ops[0])
+
+    def test_add_requires_universe_membership(self):
+        h = chain_history()
+        rel = Relation(h.operations)
+        foreign = Operation.write(9, "q", 1)
+        with pytest.raises(KeyError):
+            rel.add(foreign, h.operations[0])
+
+    def test_self_edges_are_ignored(self):
+        h = chain_history()
+        rel = Relation(h.operations)
+        rel.add(h.operations[0], h.operations[0])
+        assert rel.edge_count() == 0
+
+    def test_reachable_and_concurrent(self):
+        h = chain_history()
+        o1, o2, o3, o4, o5 = h.operations
+        rel = Relation(h.operations)
+        rel.add(o1, o2)
+        rel.add(o2, o3)
+        assert rel.reachable(o1, o3)
+        assert not rel.reachable(o3, o1)
+        assert rel.concurrent(o4, o5)
+
+    def test_transitive_closure(self):
+        h = chain_history()
+        o1, o2, o3, _, _ = h.operations
+        rel = Relation(h.operations)
+        rel.add(o1, o2)
+        rel.add(o2, o3)
+        closed = rel.transitive_closure()
+        assert closed.precedes(o1, o3)
+        assert rel.edge_count() == 2  # original untouched
+
+    def test_topological_order_and_acyclicity(self):
+        h = chain_history()
+        o1, o2, o3, _, _ = h.operations
+        rel = Relation(h.operations)
+        rel.add(o1, o2)
+        rel.add(o2, o3)
+        order = rel.topological_order()
+        assert order is not None
+        assert order.index(o1) < order.index(o2) < order.index(o3)
+        rel.add(o3, o1)
+        assert not rel.is_acyclic()
+        assert rel.topological_order() is None
+
+    def test_find_path(self):
+        h = chain_history()
+        o1, o2, o3, o4, o5 = h.operations
+        rel = Relation(h.operations)
+        rel.add_edges([(o1, o2), (o2, o3), (o3, o4), (o4, o5)])
+        path = rel.find_path(o1, o5)
+        assert path == [o1, o2, o3, o4, o5]
+        assert rel.find_path(o5, o1) is None
+
+    def test_find_paths_enumerates_alternatives(self):
+        h = chain_history()
+        o1, o2, o3, o4, _ = h.operations
+        rel = Relation(h.operations)
+        rel.add_edges([(o1, o2), (o2, o4), (o1, o3), (o3, o4)])
+        paths = rel.find_paths(o1, o4)
+        assert len(paths) == 2
+        assert all(p[0] == o1 and p[-1] == o4 for p in paths)
+
+    def test_restricted_to(self):
+        h = chain_history()
+        o1, o2, o3, _, _ = h.operations
+        rel = Relation(h.operations)
+        rel.add_edges([(o1, o2), (o2, o3)])
+        sub = rel.restricted_to([o1, o3])
+        assert sub.edge_count() == 0
+        assert set(sub.universe) == {o1, o3}
+
+    def test_union(self):
+        h = chain_history()
+        o1, o2, o3, _, _ = h.operations
+        a = Relation(h.operations)
+        a.add(o1, o2)
+        b = Relation(h.operations)
+        b.add(o2, o3)
+        merged = a.union(b)
+        assert merged.precedes(o1, o2) and merged.precedes(o2, o3)
+
+
+class TestProgramAndReadFrom:
+    def test_program_order_covering_edges(self):
+        h = chain_history()
+        rel = program_order(h)
+        w_x, w_y = h.local(1).operations
+        assert rel.precedes(w_x, w_y)
+        assert rel.edge_count() == 2  # one covering edge per 2-op process
+
+    def test_full_program_order_is_transitive(self):
+        b = HistoryBuilder()
+        b.write(1, "x", 1).write(1, "y", 2).write(1, "z", 3)
+        h = b.build()
+        rel = full_program_order(h)
+        first, _, last = h.local(1).operations
+        assert rel.precedes(first, last)
+
+    def test_read_from_edges(self):
+        h = chain_history()
+        rel = read_from_order(h)
+        w_y = next(op for op in h.writes if op.variable == "y")
+        r_y = next(op for op in h.reads if op.variable == "y")
+        assert rel.precedes(w_y, r_y)
+        assert rel.edge_count() == 2  # y and z read-from pairs
+
+    def test_bottom_reads_have_no_writer_edge(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a")
+        b.read(2, "x", BOTTOM)
+        rel = read_from_order(b.build())
+        assert rel.edge_count() == 0
+
+
+class TestCausalOrder:
+    def test_transitivity_through_other_processes(self):
+        h = chain_history()
+        co = causal_order(h)
+        w_x = next(op for op in h.writes if op.variable == "x")
+        r_z = next(op for op in h.reads if op.variable == "z")
+        assert co.precedes(w_x, r_z)
+
+    def test_concurrent_writes_stay_concurrent(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a")
+        b.write(2, "x", "b")
+        h = b.build()
+        co = causal_order(h)
+        w1, w2 = h.writes
+        assert co.concurrent(w1, w2)
+
+
+class TestLazyOrders:
+    def test_lazy_program_order_unrelates_reads_on_different_variables(self):
+        b = HistoryBuilder()
+        b.read(1, "x", BOTTOM).read(1, "y", BOTTOM)
+        h = b.build()
+        lpo = lazy_program_order(h)
+        r_x, r_y = h.local(1).operations
+        assert not lpo.precedes(r_x, r_y)
+
+    def test_lazy_program_order_orders_read_then_write(self):
+        b = HistoryBuilder()
+        b.read(1, "x", BOTTOM).write(1, "y", "b")
+        h = b.build()
+        lpo = lazy_program_order(h)
+        r_x, w_y = h.local(1).operations
+        assert lpo.precedes(r_x, w_y)
+
+    def test_lazy_program_order_orders_write_then_same_variable(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a").read(1, "x", "a").write(1, "y", "b")
+        h = b.build()
+        lpo = lazy_program_order(h)
+        w_x, r_x, w_y = h.local(1).operations
+        assert lpo.precedes(w_x, r_x)
+        # transitively: write x -> read x -> write y
+        assert lpo.precedes(w_x, w_y)
+
+    def test_writes_on_different_variables_not_directly_related(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a").write(1, "y", "b")
+        h = b.build()
+        lpo = lazy_program_order(h)
+        w_x, w_y = h.local(1).operations
+        assert not lpo.precedes(w_x, w_y)
+
+    def test_lazy_causal_order_is_subset_of_causal_order(self):
+        h = chain_history()
+        co = causal_order(h)
+        lco = lazy_causal_order(h)
+        for a, b_ in lco.edges():
+            assert co.precedes(a, b_)
+
+    def test_lazy_writes_before(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a").read(1, "x", "a").write(1, "y", "b")
+        b.read(2, "y", "b")
+        h = b.build()
+        lwb = lazy_writes_before(h)
+        w_x = next(op for op in h.writes if op.variable == "x")
+        r_y = next(op for op in h.reads if op.process == 2)
+        assert lwb.precedes(w_x, r_y)
+
+    def test_lazy_semi_causal_subset_of_lazy_causal(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a").read(1, "x", "a").write(1, "y", "b")
+        b.read(2, "y", "b").write(2, "z", "c")
+        b.read(3, "z", "c")
+        h = b.build()
+        lco = lazy_causal_order(h)
+        lsc = lazy_semi_causal_order(h)
+        for a, b_ in lsc.edges():
+            assert lco.precedes(a, b_)
+
+
+class TestPramAndSlow:
+    def test_pram_relation_has_no_cross_process_transitivity(self):
+        h = chain_history()
+        pram = pram_relation(h)
+        w_x = next(op for op in h.writes if op.variable == "x")
+        r_z = next(op for op in h.reads if op.variable == "z")
+        # causally related (through p2) but NOT PRAM related
+        assert causal_order(h).precedes(w_x, r_z)
+        assert not pram.precedes(w_x, r_z)
+
+    def test_pram_relation_contains_program_and_read_from(self):
+        h = chain_history()
+        pram = pram_relation(h)
+        w_x, w_y = h.local(1).operations
+        r_y = next(op for op in h.reads if op.variable == "y")
+        assert pram.precedes(w_x, w_y)
+        assert pram.precedes(w_y, r_y)
+
+    def test_pram_generating_order_admits_same_serial_constraints(self):
+        h = chain_history()
+        full = pram_relation(h)
+        gen = pram_generating_order(h)
+        closed = gen.transitive_closure()
+        for a, b_ in full.edges():
+            assert closed.precedes(a, b_)
+
+    def test_slow_relation_only_orders_same_variable_program_order(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a").write(1, "y", "b").write(1, "x", "c")
+        h = b.build()
+        slow = slow_relation(h)
+        w_x1, w_y, w_x2 = h.local(1).operations
+        assert slow.precedes(w_x1, w_x2)
+        assert not slow.precedes(w_x1, w_y)
+        assert not slow.precedes(w_y, w_x2)

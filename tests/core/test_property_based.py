@@ -1,0 +1,133 @@
+"""Hypothesis property tests on the core model.
+
+The invariants exercised here are the ones the paper's formal development
+relies on:
+
+* the consistency lattice (atomic ⇒ sequential ⇒ causal ⇒ {lazy causal ⇒
+  lazy semi-causal, PRAM ⇒ slow});
+* serial histories (generated from one global interleaving) are consistent
+  under every criterion;
+* order-relation inclusions (lazy ⊆ normal program order, PRAM ⊆ causal, ...);
+* Theorem 1 characterisation equals brute-force hoop enumeration on random
+  distributions;
+* witness serializations returned by the checkers are legal and respect the
+  criterion's relation.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.consistency import IMPLIES, all_checkers, get_checker, implied_criteria
+from repro.core.orders import (
+    causal_order,
+    full_program_order,
+    lazy_causal_order,
+    lazy_program_order,
+    lazy_semi_causal_order,
+    pram_relation,
+    slow_relation,
+)
+from repro.core.serialization import is_legal_serialization, respects
+from repro.core.share_graph import ShareGraph
+from repro.workloads.distributions import random_distribution
+from repro.workloads.random_history import random_history, serial_history
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**SETTINGS)
+def test_serial_histories_are_consistent_under_every_criterion(seed):
+    history = serial_history(processes=3, variables=2, operations=10, seed=seed)
+    for name, checker in all_checkers().items():
+        assert checker.check(history).consistent, name
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**SETTINGS)
+def test_consistency_lattice_on_random_histories(seed):
+    history = random_history(processes=3, variables=2, operations=10, seed=seed)
+    verdicts = {name: checker.check(history).consistent
+                for name, checker in all_checkers().items()}
+    for stronger, weaker_set in IMPLIES.items():
+        for weaker in weaker_set:
+            if verdicts[stronger]:
+                assert verdicts[weaker], (stronger, weaker, history.describe())
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**SETTINGS)
+def test_relation_inclusions(seed):
+    history = random_history(processes=3, variables=3, operations=12, seed=seed)
+    co = causal_order(history)
+    lco = lazy_causal_order(history)
+    lsc = lazy_semi_causal_order(history)
+    pram = pram_relation(history)
+    slow = slow_relation(history)
+    lpo = lazy_program_order(history)
+    po = full_program_order(history)
+    for a, b in lpo.edges():
+        assert po.precedes(a, b)
+    for a, b in lco.edges():
+        assert co.precedes(a, b)
+    for a, b in lsc.edges():
+        assert lco.precedes(a, b)
+    for a, b in pram.edges():
+        assert co.precedes(a, b)
+    for a, b in slow.edges():
+        assert pram.precedes(a, b)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**SETTINGS)
+def test_causal_order_is_acyclic_on_serial_histories(seed):
+    history = serial_history(processes=4, variables=3, operations=14, seed=seed)
+    assert causal_order(history).is_acyclic()
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**SETTINGS)
+def test_witness_serializations_are_legal_and_respect_the_relation(seed):
+    history = serial_history(processes=3, variables=2, operations=10, seed=seed)
+    for name in ("causal", "pram", "lazy_causal"):
+        checker = get_checker(name)
+        result = checker.check(history)
+        assert result.consistent
+        relation = checker.relation(history, history.read_from())
+        for pid, witness in result.serializations.items():
+            assert is_legal_serialization(witness)
+            assert respects(witness, relation)
+            assert set(witness) == set(history.sub_history_plus_writes(pid))
+
+
+@given(seed=st.integers(0, 10_000), replicas=st.integers(1, 4))
+@settings(**SETTINGS)
+def test_theorem1_characterisation_matches_enumeration(seed, replicas):
+    processes = 5
+    dist = random_distribution(processes=processes, variables=4,
+                               replicas_per_variable=min(replicas, processes), seed=seed)
+    share = ShareGraph(dist)
+    for var in share.variables:
+        enumerated = set()
+        for hoop in share.hoops(var):
+            enumerated.update(hoop.intermediates)
+        assert share.hoop_processes(var) == frozenset(enumerated), (var, dist.describe())
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**SETTINGS)
+def test_read_from_is_well_formed(seed):
+    history = random_history(processes=4, variables=3, operations=16, seed=seed)
+    rf = history.read_from()
+    for read, writer in rf.items():
+        assert read.is_read
+        if writer is not None:
+            assert writer.is_write
+            assert writer.variable == read.variable
+            assert writer.value == read.value

@@ -1,0 +1,108 @@
+"""Tests of the mechanised Theorem 1 / Theorem 2 checks."""
+
+import pytest
+
+from repro.core.distribution import VariableDistribution
+from repro.core.history import HistoryBuilder
+from repro.core.relevance import (
+    Theorem1Report,
+    Theorem2Report,
+    relevance_summary,
+    verify_theorem1,
+    verify_theorem2,
+    witness_history,
+)
+from repro.core.share_graph import Hoop, ShareGraph
+from repro.exceptions import ModelError
+from repro.workloads.distributions import chain_distribution, disjoint_blocks
+
+
+class TestWitnessHistory:
+    def test_witness_structure(self):
+        share = ShareGraph(chain_distribution(2))
+        hoop = max(share.hoops("x"), key=lambda h: h.length)
+        history = witness_history(hoop)
+        # One write + one relay write at the source, read+write per relay,
+        # read + final read at the sink.
+        assert len(history) == 2 + 2 * len(hoop.intermediates) + 2
+        first_ops = history.local(hoop.path[0]).operations
+        assert first_ops[0].is_write and first_ops[0].variable == "x"
+        last_ops = history.local(hoop.path[-1]).operations
+        assert last_ops[-1].variable == "x"
+        assert last_ops[-1].is_read
+
+    def test_witness_final_write(self):
+        share = ShareGraph(chain_distribution(1))
+        hoop = max(share.hoops("x"), key=lambda h: h.length)
+        history = witness_history(hoop, final_is_write=True)
+        assert history.local(hoop.path[-1]).operations[-1].is_write
+
+    def test_witness_respects_distribution(self):
+        dist = chain_distribution(3)
+        share = ShareGraph(dist)
+        hoop = max(share.hoops("x"), key=lambda h: h.length)
+        dist.validate_history(witness_history(hoop))
+
+    def test_witness_rejects_degenerate_hoop(self):
+        with pytest.raises(ModelError):
+            witness_history(Hoop("x", (1,), ()))
+
+    def test_witness_rejects_hoop_without_relay_variable(self):
+        with pytest.raises(ModelError):
+            witness_history(Hoop("x", (1, 2), (frozenset({"x"}),)))
+
+
+class TestTheorem1:
+    def test_holds_on_chain_distribution(self):
+        report = verify_theorem1(chain_distribution(3), "x")
+        assert isinstance(report, Theorem1Report)
+        assert report.holds
+        assert report.characterised_relevant == (0, 1, 2, 3, 4)
+        assert report.witnessed_relevant == report.characterised_relevant
+        assert report.irrelevant == ()
+
+    def test_holds_on_hoop_free_distribution(self):
+        dist = disjoint_blocks(groups=2, group_size=3)
+        var = dist.variables[0]
+        report = verify_theorem1(dist, var)
+        assert report.holds
+        assert set(report.characterised_relevant) == set(dist.holders(var))
+        assert set(report.irrelevant) == set(dist.processes) - set(dist.holders(var))
+
+    def test_holds_on_figure1(self):
+        dist = VariableDistribution({1: {"x1", "x2"}, 2: {"x1"}, 3: {"x2"}})
+        for var in ("x1", "x2"):
+            assert verify_theorem1(dist, var).holds
+
+    def test_report_details_mention_witnesses(self):
+        report = verify_theorem1(chain_distribution(2), "x")
+        assert any("witness" in d for d in report.details)
+
+
+class TestTheorem2:
+    def test_pram_relation_produces_no_external_chain(self):
+        dist = chain_distribution(2)
+        share = ShareGraph(dist)
+        hoop = max(share.hoops("x"), key=lambda h: h.length)
+        history = witness_history(hoop)
+        report = verify_theorem2(history, dist)
+        assert isinstance(report, Theorem2Report)
+        assert report.holds
+        assert report.external_chains == 0
+
+    def test_internal_chains_still_counted(self):
+        dist = VariableDistribution({0: {"x"}, 1: {"x"}})
+        b = HistoryBuilder()
+        b.write(0, "x", "a")
+        b.read(1, "x", "a")
+        report = verify_theorem2(b.build(), dist)
+        assert report.holds
+        assert report.internal_chains == 1
+
+
+class TestRelevanceSummary:
+    def test_summary_shape(self):
+        summary = relevance_summary(chain_distribution(2))
+        assert set(summary) == {"x", "y0", "y1", "y2"}
+        assert summary["x"]["hoop_processes"] == (1, 2)
+        assert summary["x"]["relevance_fraction"] == pytest.approx(1.0)

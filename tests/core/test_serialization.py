@@ -1,0 +1,150 @@
+"""Unit tests for :mod:`repro.core.serialization`."""
+
+import pytest
+
+from repro.core.history import HistoryBuilder
+from repro.core.operations import BOTTOM, Operation
+from repro.core.orders import Relation, causal_order, full_program_order
+from repro.core.serialization import (
+    SerializationProblem,
+    find_serialization,
+    is_legal_serialization,
+    respects,
+)
+
+
+class TestLegality:
+    def test_read_of_latest_write_is_legal(self):
+        w = Operation.write(1, "x", "a")
+        r = Operation.read(2, "x", "a")
+        assert is_legal_serialization([w, r])
+
+    def test_read_of_stale_value_is_illegal(self):
+        w1 = Operation.write(1, "x", "a")
+        w2 = Operation.write(1, "x", "b", index=1)
+        r = Operation.read(2, "x", "a")
+        assert not is_legal_serialization([w1, w2, r])
+
+    def test_read_of_initial_value_before_any_write(self):
+        r = Operation.read(2, "x", BOTTOM)
+        w = Operation.write(1, "x", "a")
+        assert is_legal_serialization([r, w])
+        assert not is_legal_serialization([w, r])
+
+    def test_reads_of_different_variables_do_not_interfere(self):
+        w = Operation.write(1, "x", "a")
+        r = Operation.read(2, "y", BOTTOM)
+        assert is_legal_serialization([w, r])
+
+
+class TestRespects:
+    def test_respects_detects_violations(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a").write(1, "y", "b")
+        h = b.build()
+        rel = full_program_order(h)
+        w_x, w_y = h.local(1).operations
+        assert respects([w_x, w_y], rel)
+        assert not respects([w_y, w_x], rel)
+
+    def test_operations_missing_from_sequence_are_ignored(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a").write(1, "y", "b").write(1, "z", "c")
+        h = b.build()
+        rel = full_program_order(h)
+        w_x, _, w_z = h.local(1).operations
+        assert respects([w_x, w_z], rel)
+
+
+class TestSerializationProblem:
+    def _problem(self, history, relation=None):
+        relation = relation or causal_order(history)
+        return SerializationProblem(history.operations, relation, history.read_from())
+
+    def test_solves_simple_consistent_history(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a")
+        b.read(2, "x", "a")
+        h = b.build()
+        problem = self._problem(h)
+        witness = problem.solve()
+        assert witness is not None
+        assert is_legal_serialization(witness)
+        assert respects(witness, causal_order(h))
+
+    def test_detects_unsatisfiable_instance(self):
+        # p2 reads b then a although p1 wrote a before b: no legal
+        # serialization can respect p2's program order on the same variable.
+        b = HistoryBuilder()
+        b.write(1, "x", "a").write(1, "x", "b")
+        b.read(2, "x", "b").read(2, "x", "a")
+        h = b.build()
+        problem = self._problem(h)
+        assert problem.quick_violations()
+        assert problem.solve() is None
+
+    def test_quick_violations_bottom_read(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a")
+        b.read(1, "x", BOTTOM)  # reads ⊥ after writing a in program order
+        h = HistoryBuilder()
+        h.write(1, "x", "a").read(1, "x", BOTTOM)
+        history = h.build()
+        problem = self._problem(history)
+        assert problem.quick_violations()
+        assert problem.solve() is None
+
+    def test_read_from_writer_outside_view_is_unsatisfiable(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a")
+        b.read(2, "x", "a")
+        h = b.build()
+        read = h.reads[0]
+        writer = h.writes[0]
+        problem = SerializationProblem(
+            (read,), causal_order(h), {read: writer}
+        )
+        assert problem.quick_violations()
+        assert problem.solve() is None
+
+    def test_interleaving_requires_backtracking_over_write_order(self):
+        # Two writers on the same variable; the reader observes them in an
+        # order the naive first-candidate choice would not pick first.
+        b = HistoryBuilder()
+        b.write(1, "x", "a")
+        b.write(2, "x", "b")
+        b.read(3, "x", "b").read(3, "x", "a")
+        h = b.build()
+        # PRAM-style constraints: program order only.
+        problem = SerializationProblem(h.operations, full_program_order(h), h.read_from())
+        witness = problem.solve()
+        assert witness is not None
+        assert is_legal_serialization(witness)
+
+    def test_empty_problem(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a")
+        h = b.build()
+        problem = SerializationProblem((), causal_order(h), {})
+        assert problem.solve() == []
+
+    def test_find_serialization_wrapper(self):
+        b = HistoryBuilder()
+        b.write(1, "x", "a")
+        b.read(2, "x", "a")
+        h = b.build()
+        assert find_serialization(h.operations, causal_order(h), h.read_from()) is not None
+
+    def test_max_states_guard(self):
+        # Reads by two different processes defeat the greedy fast path, so the
+        # backtracking search runs and trips the (tiny) state budget.
+        b = HistoryBuilder()
+        b.write(1, "x", "a")
+        b.write(2, "y", "b")
+        b.read(3, "x", "a")
+        b.read(4, "y", "b")
+        h = b.build()
+        problem = SerializationProblem(h.operations, Relation(h.operations), h.read_from(),
+                                       max_states=1)
+        with pytest.raises(RuntimeError):
+            problem.solve()

@@ -1,0 +1,148 @@
+"""Unit tests for the share graph, cliques and hoops (paper, Section 3.1)."""
+
+import pytest
+
+from repro.core.distribution import VariableDistribution
+from repro.core.share_graph import Hoop, ShareGraph
+from repro.workloads.distributions import chain_distribution, disjoint_blocks
+
+
+def figure1_share_graph() -> ShareGraph:
+    return ShareGraph(VariableDistribution({1: {"x1", "x2"}, 2: {"x1"}, 3: {"x2"}}))
+
+
+def hoop_share_graph(intermediates: int = 2) -> ShareGraph:
+    return ShareGraph(chain_distribution(intermediates, studied_variable="x"))
+
+
+class TestStructure:
+    def test_figure1_cliques(self):
+        share = figure1_share_graph()
+        assert share.clique("x1") == frozenset({1, 2})
+        assert share.clique("x2") == frozenset({1, 3})
+
+    def test_figure1_edges_and_labels(self):
+        share = figure1_share_graph()
+        assert share.edge_label(1, 2) == frozenset({"x1"})
+        assert share.edge_label(1, 3) == frozenset({"x2"})
+        assert share.edge_label(2, 3) == frozenset()
+        assert share.graph.edge_count() == 2
+
+    def test_clique_edges(self):
+        share = figure1_share_graph()
+        assert share.clique_edges("x1") == [(1, 2)]
+
+    def test_neighbours(self):
+        share = figure1_share_graph()
+        assert share.neighbours(1) == (2, 3)
+        assert share.neighbours(2) == (1,)
+
+    def test_share_graph_is_union_of_cliques(self):
+        dist = VariableDistribution({0: {"a", "b"}, 1: {"a"}, 2: {"b"}, 3: {"a", "b"}})
+        share = ShareGraph(dist)
+        for a, b, labels in share.graph.edges():
+            for var in labels:
+                assert a in share.clique(var) and b in share.clique(var)
+
+
+class TestHoops:
+    def test_no_hoop_in_figure1(self):
+        share = figure1_share_graph()
+        assert not share.has_hoop("x1")
+        assert not share.has_hoop("x2")
+        assert share.is_hoop_free("x1")
+
+    def test_chain_distribution_has_a_hoop(self):
+        share = hoop_share_graph(intermediates=2)
+        hoops = list(share.hoops("x"))
+        assert hoops
+        longest = max(hoops, key=lambda h: h.length)
+        assert longest.endpoints == (0, 3)
+        assert longest.intermediates == (1, 2)
+        assert all("x" not in labels for labels in longest.edge_labels)
+
+    def test_hoop_properties(self):
+        share = hoop_share_graph(intermediates=1)
+        hoop = next(iter(share.hoops("x")))
+        assert isinstance(hoop, Hoop)
+        assert hoop.length == len(hoop.path) - 1
+        assert hoop.variable == "x"
+
+    def test_direct_edge_hoop(self):
+        # Two holders of x also sharing y: a length-1 hoop with no intermediates.
+        dist = VariableDistribution({0: {"x", "y"}, 1: {"x", "y"}})
+        share = ShareGraph(dist)
+        hoops = list(share.hoops("x"))
+        assert len(hoops) == 1
+        assert hoops[0].intermediates == ()
+        # No process outside C(x) exists, so x is still "hoop free" in the
+        # sense of Theorem 1 (no extra relevant process).
+        assert share.is_hoop_free("x")
+
+    def test_hoop_through(self):
+        share = hoop_share_graph(intermediates=3)
+        hoop = share.hoop_through(2, "x")
+        assert hoop is not None and 2 in hoop.path
+        # In Figure 1 process 2 shares nothing with C(x2) \ {1}, so no hoop.
+        assert figure1_share_graph().hoop_through(2, "x2") is None
+
+    def test_max_hoops_limit(self):
+        share = hoop_share_graph(intermediates=2)
+        assert len(list(share.hoops("x", max_hoops=1))) == 1
+
+
+class TestTheorem1Characterisation:
+    def test_hoop_processes_on_chain(self):
+        share = hoop_share_graph(intermediates=3)
+        assert share.hoop_processes("x") == frozenset({1, 2, 3})
+        assert share.relevant_processes("x") == frozenset({0, 1, 2, 3, 4})
+        assert share.irrelevant_processes("x") == frozenset()
+
+    def test_disjoint_blocks_are_hoop_free(self):
+        share = ShareGraph(disjoint_blocks(groups=3, group_size=2, variables_per_group=2))
+        for var in share.variables:
+            assert share.hoop_processes(var) == frozenset()
+            assert share.relevant_processes(var) == share.clique(var)
+
+    def test_dead_end_branch_is_not_on_a_hoop(self):
+        # a - u - b is a hoop for x (a, b hold x); the pendant process p
+        # attached to u is NOT on any simple a..b path and must be excluded.
+        dist = VariableDistribution({
+            0: {"x", "y"},        # a
+            1: {"y", "z", "w"},   # u
+            2: {"x", "z"},        # b
+            3: {"w"},             # pendant p
+        })
+        share = ShareGraph(dist)
+        assert 1 in share.hoop_processes("x")
+        assert 3 not in share.hoop_processes("x")
+        assert not share.is_on_hoop(3, "x")
+        assert share.is_on_hoop(1, "x")
+
+    def test_characterisation_matches_hoop_enumeration(self):
+        # Brute-force cross-check on several small distributions.
+        cases = [
+            chain_distribution(2),
+            chain_distribution(3),
+            VariableDistribution({0: {"x", "a"}, 1: {"a", "b"}, 2: {"b", "x"},
+                                  3: {"b", "c"}, 4: {"c"}}),
+            disjoint_blocks(groups=2, group_size=3),
+        ]
+        for dist in cases:
+            share = ShareGraph(dist)
+            for var in share.variables:
+                enumerated = set()
+                for hoop in share.hoops(var):
+                    enumerated.update(hoop.intermediates)
+                assert share.hoop_processes(var) == frozenset(enumerated), (dist, var)
+
+    def test_clique_member_not_reported_on_hoop(self):
+        share = hoop_share_graph(intermediates=2)
+        assert not share.is_on_hoop(0, "x")
+
+    def test_relevance_metrics(self):
+        share = hoop_share_graph(intermediates=3)
+        assert share.relevance_fraction("x") == pytest.approx(1.0)
+        report = share.relevance_report()
+        assert report["x"]["hoop_processes"] == (1, 2, 3)
+        assert 0.0 < share.average_relevance_fraction() <= 1.0

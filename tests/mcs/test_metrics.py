@@ -1,0 +1,86 @@
+"""Unit tests for the efficiency metrics of protocol runs."""
+
+import pytest
+
+from repro.core.distribution import VariableDistribution
+from repro.mcs.metrics import (
+    EfficiencyReport,
+    efficiency_report,
+    irrelevant_message_count,
+    observed_relevance,
+    relevance_violations,
+)
+from repro.mcs.system import MCSystem
+from repro.workloads.distributions import chain_distribution
+
+
+def small_distribution():
+    return VariableDistribution({0: {"x"}, 1: {"x", "y"}, 2: {"y"}})
+
+
+class TestMetricComputation:
+    def test_pram_run_has_no_irrelevant_messages(self):
+        dist = small_distribution()
+        system = MCSystem(dist, protocol="pram_partial")
+        system.process(0).write("x", 1)
+        system.process(1).write("y", 2)
+        system.settle()
+        assert irrelevant_message_count(system.stats, dist) == 0
+        report = system.efficiency()
+        assert isinstance(report, EfficiencyReport)
+        assert report.irrelevant_messages == 0
+        assert report.protocol == "pram_partial"
+        assert report.messages_sent == 2
+
+    def test_causal_full_run_has_irrelevant_messages(self):
+        dist = small_distribution()
+        system = MCSystem(dist, protocol="causal_full")
+        system.process(0).write("x", 1)
+        system.settle()
+        # p2 does not replicate x yet received the broadcast update.
+        assert irrelevant_message_count(system.stats, dist) == 1
+        report = system.efficiency()
+        assert report.irrelevant_messages == 1
+        assert report.irrelevant_message_fraction > 0
+
+    def test_observed_relevance_includes_holders(self):
+        dist = small_distribution()
+        system = MCSystem(dist, protocol="pram_partial")
+        system.process(0).write("x", 1)
+        system.settle()
+        relevance = observed_relevance(system.stats, dist)
+        assert relevance["x"] == (0, 1)
+        assert relevance["y"] == (1, 2)
+
+    def test_relevance_violations_for_full_replication(self):
+        dist = small_distribution()
+        system = MCSystem(dist, protocol="causal_full")
+        system.process(0).write("x", 1)
+        system.settle()
+        violations = relevance_violations(system.efficiency(), dist)
+        # x has no hoop in this share graph, so p2 handling x is a violation
+        # of the "efficient partial replication" property.
+        assert violations == {"x": (2,)}
+
+    def test_relevance_violations_empty_for_pram(self):
+        dist = chain_distribution(2)
+        system = MCSystem(dist, protocol="pram_partial")
+        system.process(0).write("x", 1)
+        system.settle()
+        assert relevance_violations(system.efficiency(), dist) == {}
+
+    def test_report_as_row(self):
+        dist = small_distribution()
+        system = MCSystem(dist, protocol="pram_partial")
+        system.process(0).write("x", 1)
+        system.settle()
+        row = system.efficiency().as_row()
+        assert row["protocol"] == "pram_partial"
+        assert {"messages", "control_B", "payload_B", "irrelevant_msgs"} <= set(row)
+
+    def test_efficiency_report_on_empty_run(self):
+        dist = small_distribution()
+        system = MCSystem(dist, protocol="pram_partial")
+        report = efficiency_report("pram_partial", system.stats, dist)
+        assert report.messages_sent == 0
+        assert report.irrelevant_message_fraction == 0

@@ -1,0 +1,48 @@
+"""Unit tests for the protocol history recorder."""
+
+from repro.core.operations import BOTTOM
+from repro.mcs.recorder import HistoryRecorder
+
+
+class TestHistoryRecorder:
+    def test_records_program_order_indices(self):
+        rec = HistoryRecorder()
+        rec.record_write(0, "x", 1, (0, 1))
+        rec.record_read(0, "x", 1, (0, 1))
+        rec.record_write(0, "y", 2, (0, 2))
+        history = rec.history()
+        assert [op.index for op in history.local(0)] == [0, 1, 2]
+
+    def test_exact_read_from_even_with_duplicate_values(self):
+        rec = HistoryRecorder()
+        rec.record_write(0, "x", "same", (0, 1))
+        rec.record_write(1, "x", "same", (1, 1))
+        read = rec.record_read(2, "x", "same", (1, 1))
+        rf = rec.read_from()
+        history = rec.history()
+        assert not history.is_differentiated()
+        read_op = history.local(2)[0]
+        assert rf[read_op].process == 1
+
+    def test_bottom_reads_map_to_none(self):
+        rec = HistoryRecorder()
+        read = rec.record_read(0, "x", BOTTOM, None)
+        assert rec.read_from()[rec.history().local(0)[0]] is None
+        assert read.reads_initial_value
+
+    def test_declare_process(self):
+        rec = HistoryRecorder()
+        rec.declare_process(5)
+        assert 5 in rec.history().processes
+
+    def test_timestamps_recorded(self):
+        rec = HistoryRecorder()
+        rec.record_write(0, "x", 1, (0, 1), invoked_at=2.0, completed_at=2.0)
+        op = rec.history().local(0)[0]
+        assert op.invoked_at == 2.0
+
+    def test_operation_count(self):
+        rec = HistoryRecorder()
+        rec.record_write(0, "x", 1, (0, 1))
+        rec.record_read(1, "x", 1, (0, 1))
+        assert rec.operation_count() == 2

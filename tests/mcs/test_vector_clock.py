@@ -1,0 +1,55 @@
+"""Unit tests for :mod:`repro.mcs.vector_clock`."""
+
+from repro.mcs.vector_clock import VectorClock
+
+
+class TestVectorClock:
+    def test_initial_entries_are_zero(self):
+        vc = VectorClock([0, 1, 2])
+        assert vc[0] == vc[1] == vc[2] == 0
+        assert vc[99] == 0  # unknown entries read as zero
+        assert len(vc) == 3
+
+    def test_increment_and_set(self):
+        vc = VectorClock([0, 1])
+        vc.increment(0).increment(0)
+        vc[1] = 5
+        assert vc[0] == 2 and vc[1] == 5
+
+    def test_merge_is_pointwise_max(self):
+        a = VectorClock(values={0: 3, 1: 1})
+        b = VectorClock(values={0: 2, 1: 4, 2: 1})
+        a.merge(b)
+        assert a[0] == 3 and a[1] == 4 and a[2] == 1
+
+    def test_copy_is_independent(self):
+        a = VectorClock(values={0: 1})
+        b = a.copy()
+        b.increment(0)
+        assert a[0] == 1 and b[0] == 2
+
+    def test_dominates(self):
+        a = VectorClock(values={0: 2, 1: 2})
+        b = VectorClock(values={0: 1, 1: 2})
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert a.strictly_dominates(b)
+        assert not a.strictly_dominates(a.copy())
+
+    def test_concurrency(self):
+        a = VectorClock(values={0: 1, 1: 0})
+        b = VectorClock(values={0: 0, 1: 1})
+        assert a.concurrent_with(b)
+        assert not a.concurrent_with(a.copy())
+
+    def test_equality_ignores_zero_entries(self):
+        assert VectorClock(values={0: 1}) == VectorClock(values={0: 1, 1: 0})
+        assert hash(VectorClock(values={0: 1})) == hash(VectorClock(values={0: 1, 1: 0}))
+
+    def test_as_dict_and_items(self):
+        vc = VectorClock(values={1: 2, 0: 1})
+        assert vc.as_dict() == {0: 1, 1: 2}
+        assert list(vc.items()) == [(0, 1), (1, 2)]
+
+    def test_size_bytes_scales_with_entries(self):
+        assert VectorClock([0, 1, 2]).size_bytes() == 48

@@ -1,0 +1,114 @@
+"""Unit tests for the event queue and the discrete-event simulator."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.netsim.events import EventQueue
+from repro.netsim.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("late"))
+        q.push(1.0, lambda: order.append("early"))
+        while True:
+            event = q.pop()
+            if event is None:
+                break
+            event.callback()
+        assert order == ["early", "late"]
+
+    def test_fifo_tie_break_at_equal_times(self):
+        q = EventQueue()
+        order = []
+        for i in range(5):
+            q.push(1.0, lambda i=i: order.append(i))
+        while q:
+            q.pop().callback()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties_before_sequence(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("low"), priority=1)
+        q.push(1.0, lambda: order.append("high"), priority=0)
+        while q:
+            q.pop().callback()
+        assert order == ["high", "low"]
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: pytest.fail("should not run"))
+        event.cancel()
+        assert len(q) == 0
+        assert q.pop() is None
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(3.0, lambda: None)
+        q.push(1.0, lambda: None)
+        assert q.peek_time() == 1.0
+
+
+class TestSimulator:
+    def test_time_advances_with_events(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        processed = sim.run()
+        assert processed == 2
+        assert times == [1.0, 2.5]
+        assert sim.now == 2.5
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(-5.0, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_event_budget_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 3

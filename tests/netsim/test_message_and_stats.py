@@ -1,0 +1,87 @@
+"""Unit tests for message size accounting and network statistics."""
+
+import pytest
+
+from repro.netsim.message import Message, estimate_size
+from repro.netsim.stats import NetworkStats
+
+
+class TestEstimateSize:
+    def test_scalars(self):
+        assert estimate_size(None) == 1
+        assert estimate_size(True) == 1
+        assert estimate_size(7) == 8
+        assert estimate_size(3.14) == 8
+        assert estimate_size("abcd") == 4
+        assert estimate_size(b"abc") == 3
+
+    def test_containers_recurse(self):
+        assert estimate_size([1, 2, 3]) == 24
+        assert estimate_size({"k": 1}) == 1 + 8
+        assert estimate_size(("ab", [1])) == 2 + 8
+
+    def test_unicode_measured_in_bytes(self):
+        assert estimate_size("é") == 2
+
+
+class TestMessage:
+    def test_payload_and_control_bytes(self):
+        msg = Message(src=0, dst=1, kind="update", variable="x",
+                      payload={"value": 42}, control={"seq": 3, "sender": 0})
+        assert msg.payload_bytes == 5 + 8
+        # control: "seq"+8 + "sender"+8 + variable "x"
+        assert msg.control_bytes == 3 + 8 + 6 + 8 + 1
+        assert msg.total_bytes == msg.payload_bytes + msg.control_bytes
+
+    def test_bookkeeping_fields_excluded_from_control(self):
+        plain = Message(src=0, dst=1, kind="update", variable="x",
+                        control={"seq": 1})
+        with_bookkeeping = Message(src=0, dst=1, kind="update", variable="x",
+                                   control={"seq": 1, "_wid": [0, 17]})
+        assert plain.control_bytes == with_bookkeeping.control_bytes
+
+    def test_uid_uniqueness(self):
+        a = Message(src=0, dst=1, kind="k")
+        b = Message(src=0, dst=1, kind="k")
+        assert a.uid != b.uid
+
+
+class TestNetworkStats:
+    def _message(self, **kw):
+        defaults = dict(src=0, dst=1, kind="update", variable="x",
+                        payload={"value": 1}, control={"seq": 0})
+        defaults.update(kw)
+        return Message(**defaults)
+
+    def test_record_send_and_delivery(self):
+        stats = NetworkStats()
+        msg = self._message()
+        stats.record_send(msg)
+        stats.record_delivery(msg)
+        assert stats.messages_sent == 1
+        assert stats.messages_delivered == 1
+        assert stats.by_kind["update"] == 1
+        assert stats.by_pair[(0, 1)] == 1
+        assert stats.received_by_process[1] == 1
+        assert stats.received_variable_messages[(1, "x")] == 1
+
+    def test_control_overhead_ratio(self):
+        stats = NetworkStats()
+        stats.record_send(self._message())
+        assert stats.control_overhead_ratio() > 0
+        empty = NetworkStats()
+        assert empty.control_overhead_ratio() == 0.0
+
+    def test_variables_seen_by(self):
+        stats = NetworkStats()
+        for var in ("a", "b"):
+            msg = self._message(variable=var)
+            stats.record_send(msg)
+            stats.record_delivery(msg)
+        assert stats.variables_seen_by(1) == ("a", "b")
+        assert stats.variables_seen_by(0) == ()
+
+    def test_summary_keys(self):
+        stats = NetworkStats()
+        summary = stats.summary()
+        assert {"messages_sent", "control_bytes", "payload_bytes"} <= set(summary)

@@ -1,0 +1,46 @@
+"""Tests of the command-line interface (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("reproduce", "overhead", "bellman-ford", "relevance"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_bellman_ford_options(self):
+        args = build_parser().parse_args(
+            ["bellman-ford", "--nodes", "6", "--protocol", "causal_full", "--source", "2"]
+        )
+        assert args.nodes == 6 and args.protocol == "causal_full" and args.source == 2
+
+
+class TestCommands:
+    def test_bellman_ford_figure8(self, capsys):
+        assert main(["bellman-ford"]) == 0
+        out = capsys.readouterr().out
+        assert "Least-cost routes" in out
+        assert "matches reference            : True" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "--operations", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "pram_partial" in out and "ctrl_B/msg" in out
+
+    def test_relevance(self, capsys):
+        assert main(["relevance", "--processes", "4", "5", "--samples", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "x-relevance scalability study" in out
+
+    def test_reproduce_exits_zero_when_everything_matches(self, capsys):
+        assert main(["reproduce"]) == 0
+        out = capsys.readouterr().out
+        assert "All 10 reproductions match" in out

@@ -1,0 +1,123 @@
+"""Unit tests for topology and distribution generators."""
+
+import pytest
+
+from repro.core.share_graph import ShareGraph
+from repro.workloads.distributions import (
+    chain_distribution,
+    disjoint_blocks,
+    full_replication,
+    neighbourhood_distribution,
+    random_distribution,
+)
+from repro.workloads.topology import (
+    INFINITY,
+    WeightedDigraph,
+    figure8_network,
+    line_network,
+    random_network,
+    ring_network,
+)
+
+
+class TestWeightedDigraph:
+    def test_weights_and_conventions(self):
+        g = WeightedDigraph()
+        g.add_edge(1, 2, 3.0)
+        assert g.weight(1, 2) == 3.0
+        assert g.weight(2, 1) == INFINITY
+        assert g.weight(1, 1) == 0.0
+        assert g.predecessors(2) == frozenset({1})
+        assert g.successors(1) == frozenset({2})
+
+    def test_links_are_symmetric(self):
+        g = WeightedDigraph()
+        g.add_link(1, 2, 2.5)
+        assert g.weight(1, 2) == g.weight(2, 1) == 2.5
+        assert g.edge_count == 2
+
+    def test_rejects_negative_weights_and_self_loops(self):
+        g = WeightedDigraph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 2, -1.0)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1, 1.0)
+
+    def test_connectivity_check(self):
+        g = WeightedDigraph()
+        g.add_edge(1, 2, 1.0)
+        g.add_node(3)
+        assert not g.is_connected_from(1)
+        g.add_edge(2, 3, 1.0)
+        assert g.is_connected_from(1)
+
+
+class TestTopologyGenerators:
+    def test_figure8_network_shape(self):
+        g = figure8_network()
+        assert g.nodes == (1, 2, 3, 4, 5)
+        # Eight directed edges, reconstructed from the Section 6 distribution.
+        assert g.edge_count == 8
+        assert g.is_connected_from(1)
+        assert g.predecessors(1) == frozenset()
+        assert g.predecessors(2) == frozenset({1, 3})
+        assert g.predecessors(3) == frozenset({1, 2})
+        assert g.predecessors(4) == frozenset({2, 3})
+        assert g.predecessors(5) == frozenset({3, 4})
+        # The weight multiset matches the labels of the scanned figure.
+        assert sorted(w for _, _, w in g.edges()) == [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 8.0]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_network_is_connected_and_deterministic(self, seed):
+        a = random_network(nodes=10, extra_edges=5, seed=seed)
+        b = random_network(nodes=10, extra_edges=5, seed=seed)
+        assert list(a.edges()) == list(b.edges())
+        assert a.is_connected_from(1)
+
+    def test_line_and_ring(self):
+        line = line_network(4)
+        assert line.node_count == 4
+        assert line.weight(1, 2) == 1.0
+        ring = ring_network(5)
+        assert ring.predecessors(1) == frozenset({2, 5})
+        assert ring_network(2).node_count == 2
+        assert line_network(1).node_count == 1
+
+
+class TestDistributions:
+    def test_full_replication(self):
+        dist = full_replication(processes=3, variables=4)
+        assert dist.is_fully_replicated()
+        assert len(dist.variables) == 4
+
+    def test_disjoint_blocks_are_hoop_free(self):
+        dist = disjoint_blocks(groups=3, group_size=2, variables_per_group=2)
+        share = ShareGraph(dist)
+        assert all(not share.has_hoop(v) or not share.hoop_processes(v)
+                   for v in dist.variables)
+        assert len(dist.processes) == 6
+
+    def test_chain_distribution_structure(self):
+        dist = chain_distribution(3)
+        assert dist.holders("x") == frozenset({0, 4})
+        assert dist.holders("y1") == frozenset({1, 2})
+        with pytest.raises(ValueError):
+            chain_distribution(-1)
+
+    def test_random_distribution_degree(self):
+        dist = random_distribution(processes=6, variables=10, replicas_per_variable=3, seed=1)
+        for var in dist.variables:
+            assert dist.replication_degree(var) == 3
+        with pytest.raises(ValueError):
+            random_distribution(processes=3, variables=2, replicas_per_variable=9)
+
+    def test_random_distribution_deterministic(self):
+        a = random_distribution(processes=5, variables=5, seed=3)
+        b = random_distribution(processes=5, variables=5, seed=3)
+        assert a == b
+
+    def test_neighbourhood_distribution_matches_graph(self):
+        graph = figure8_network()
+        dist = neighbourhood_distribution(graph)
+        # x3 is owned by node 3 and replicated at its successors.
+        assert dist.holders("x3") == frozenset({3} | set(graph.successors(3)))

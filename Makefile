@@ -1,0 +1,26 @@
+# Development entry points. Every target runs against src/ in place
+# (no install needed); see README.md for the pip install route.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench experiments experiments-smoke clean-cache
+
+# Tier-1 verification (the command ROADMAP.md records).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Benchmark harness: re-asserts the paper's qualitative claims under timing.
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# One-scenario end-to-end check of the experiment orchestrator.
+experiments-smoke:
+	$(PYTHON) -m repro experiments run --scenario figure2-hoop --no-cache
+
+# The full scenario suite (paper + stress), fanned out and cached.
+experiments:
+	$(PYTHON) -m repro experiments run --suite all --workers 4
+
+clean-cache:
+	rm -rf .repro-cache

@@ -51,6 +51,22 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def render_records(
+    records: Sequence[object],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render objects exposing ``as_row()`` as an aligned plain-text table.
+
+    This is the bridge between the structured result records (experiment
+    :class:`~repro.experiments.runner.ScenarioRecord`, overhead
+    :class:`~repro.analysis.overhead.ProtocolRun`, figure reproductions) and
+    the plain-text reports: anything with an ``as_row()`` method renders.
+    """
+    return render_table([record.as_row() for record in records],
+                        columns=columns, title=title)
+
+
 def render_mapping(mapping: Mapping[str, object], title: Optional[str] = None) -> str:
     """Render a flat mapping as ``key: value`` lines."""
     lines = [title] if title else []

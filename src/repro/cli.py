@@ -14,23 +14,29 @@ any Python:
     of a given size) and print the routing table plus the run's cost profile.
 ``relevance``
     Print the x-relevance scalability study (Theorem 1 at scale).
+``experiments``
+    Scenario-suite orchestrator (``list`` / ``run`` / ``report``): expand the
+    registered scenario grids, execute them through the simulator with
+    content-hash result caching, and render the aggregated consistency +
+    efficiency records (see EXPERIMENTS.md for the claim-to-scenario map).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .analysis.figures import all_reproductions
-    from .analysis.report import render_table
+    from .analysis.report import render_records
 
     results = all_reproductions()
-    print(render_table([r.as_row() for r in results],
-                       columns=["id", "title", "paper", "measured", "match"],
-                       title="Paper reproduction summary"))
+    print(render_records(results,
+                         columns=["id", "title", "paper", "measured", "match"],
+                         title="Paper reproduction summary"))
     failures = [r.figure_id for r in results if not r.matches]
     if failures:
         print(f"\nMISMATCHES: {', '.join(failures)}", file=sys.stderr)
@@ -92,6 +98,104 @@ def _cmd_relevance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiments_specs(args: argparse.Namespace):
+    """Resolve ``--scenario``/``--suite`` flags to a list of registered specs."""
+    from .experiments import REGISTRY, ScenarioSpecError
+
+    if getattr(args, "scenario", None):
+        # dedupe while keeping order: a repeated flag must not double-count
+        return [REGISTRY.get(name) for name in dict.fromkeys(args.scenario)]
+    suite = getattr(args, "suite", "all")
+    if suite != "all" and suite not in REGISTRY.suites():
+        raise ScenarioSpecError(
+            f"unknown suite {suite!r}; known: {REGISTRY.suites() + ['all']}"
+        )
+    return REGISTRY.specs(None if suite == "all" else suite)
+
+
+def _cmd_experiments_list(args: argparse.Namespace) -> int:
+    from .analysis.report import render_table
+
+    specs = _experiments_specs(args)
+    rows = [{"scenario": s.name,
+             "suite": s.suite,
+             "paper_ref": s.paper_ref,
+             "protocols": ", ".join(s.protocols),
+             "runs": len(s.expand()),
+             "description": s.description}
+            for s in specs]
+    print(render_table(rows,
+                       columns=["scenario", "suite", "paper_ref", "protocols", "runs"],
+                       title="Registered scenarios"))
+    if args.verbose:
+        print()
+        for spec in specs:
+            print(f"{spec.name}: {spec.description}")
+    return 0
+
+
+def _cmd_experiments_run(args: argparse.Namespace) -> int:
+    from .analysis.report import render_records, render_table
+    from .experiments import ResultCache, aggregate_records, run_suite
+
+    specs = _experiments_specs(args)
+    if not specs:
+        print("no scenarios selected", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = (lambda line: print(line, file=sys.stderr)) if args.verbose else None
+    result = run_suite(specs, cache=cache, workers=args.workers, progress=progress)
+    if args.per_run:
+        print(render_records(result.records, title="Per-run records"))
+        print()
+    print(render_table(aggregate_records(result.records),
+                       title="Aggregated scenario records"))
+    print(f"\n{len(result.records)} runs: {result.executed} executed, "
+          f"{result.cached} cached, {result.elapsed_s:.2f}s total")
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump([r.to_dict() for r in result.records], handle, indent=2)
+        except OSError as exc:
+            print(f"error: cannot write record file {args.json}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"records written to {args.json}")
+    failures = result.failures
+    if failures:
+        labels = sorted({f"{r.scenario}:{r.protocol}:s{r.seed}" for r in failures})
+        print(f"\nCONSISTENCY FAILURES: {', '.join(labels)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_experiments_report(args: argparse.Namespace) -> int:
+    from .analysis.report import render_records, render_table
+    from .experiments import ScenarioRecord, aggregate_records
+
+    try:
+        with open(args.json, "r", encoding="utf-8") as handle:
+            records = [ScenarioRecord.from_dict(entry) for entry in json.load(handle)]
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: cannot read record file {args.json}: {exc}", file=sys.stderr)
+        return 2
+    if args.per_run:
+        print(render_records(records, title="Per-run records"))
+        print()
+    print(render_table(aggregate_records(records),
+                       title="Aggregated scenario records"))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    handlers = {
+        "list": _cmd_experiments_list,
+        "run": _cmd_experiments_run,
+        "report": _cmd_experiments_report,
+    }
+    return handlers[args.exp_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser of ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -122,11 +226,48 @@ def build_parser() -> argparse.ArgumentParser:
     relevance.add_argument("--processes", type=int, nargs="*", default=[4, 6, 8])
     relevance.add_argument("--samples", type=int, default=3)
 
+    experiments = sub.add_parser("experiments",
+                                 help="scenario-suite orchestrator (list/run/report)")
+    esub = experiments.add_subparsers(dest="exp_command", required=True)
+
+    exp_list = esub.add_parser("list", help="list the registered scenarios")
+    exp_list.add_argument("--suite", default="all",
+                          help="restrict to one suite (paper, stress, ...)")
+    exp_list.add_argument("--verbose", action="store_true",
+                          help="also print scenario descriptions")
+
+    exp_run = esub.add_parser("run", help="run scenarios with result caching")
+    exp_run.add_argument("--suite", default="all",
+                         help="run one suite (paper, stress) or 'all'")
+    exp_run.add_argument("--scenario", action="append", default=None,
+                         help="run a named scenario (repeatable; overrides --suite)")
+    exp_run.add_argument("--cache-dir", default=None,
+                         help="result cache directory (default: .repro-cache)")
+    exp_run.add_argument("--no-cache", action="store_true",
+                         help="ignore and do not update the result cache")
+    exp_run.add_argument("--workers", type=int, default=0,
+                         help="fan cache misses out over N processes")
+    exp_run.add_argument("--json", default=None,
+                         help="also write the per-run records to this JSON file")
+    exp_run.add_argument("--per-run", action="store_true",
+                         help="print the per-run records, not only the aggregate")
+    exp_run.add_argument("--verbose", action="store_true",
+                         help="print per-point progress to stderr")
+
+    exp_report = esub.add_parser("report",
+                                 help="re-render a JSON record file from a past run")
+    exp_report.add_argument("--json", required=True,
+                            help="record file written by 'experiments run --json'")
+    exp_report.add_argument("--per-run", action="store_true",
+                            help="print the per-run records, not only the aggregate")
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
+    from .exceptions import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
@@ -134,8 +275,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "overhead": _cmd_overhead,
         "bellman-ford": _cmd_bellman_ford,
         "relevance": _cmd_relevance,
+        "experiments": _cmd_experiments,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # e.g. ``repro ... | head``: the pipe closing is not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

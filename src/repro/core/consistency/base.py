@@ -65,8 +65,31 @@ class CheckResult:
         return self.consistent
 
     def witness(self, process: int = -1) -> List[Operation]:
-        """Witness serialization for ``process`` (or the global one)."""
-        return self.serializations[process]
+        """Witness serialization for ``process`` (or the global one, key ``-1``).
+
+        Raises a :class:`KeyError` with an explanatory message when no witness
+        was recorded for ``process``.  In particular, checks run with
+        ``exact=False`` never record witnesses: such a ``True`` verdict is a
+        *heuristic* one — the polynomial bad-pattern pre-check found no
+        violation — and carries no serialization proving consistency.
+        """
+        try:
+            return self.serializations[process]
+        except KeyError:
+            available = sorted(self.serializations)
+            if not self.exact:
+                hint = ("the check ran with exact=False (heuristic verdict), "
+                        "which records no witness serializations")
+            elif not self.consistent:
+                hint = "the history is not consistent, so no witness exists"
+            elif available:
+                hint = f"witnesses were recorded for processes {available}"
+            else:
+                hint = "no witness serializations were recorded"
+            raise KeyError(
+                f"no witness serialization for process {process} "
+                f"(criterion {self.criterion!r}): {hint}"
+            ) from None
 
     def summary(self) -> str:
         """One-line summary used by the reproduction reports."""

@@ -16,8 +16,10 @@ implemented by :class:`~repro.core.share_graph.ShareGraph`; this module adds
   protocol run), check that the PRAM relation produces no dependency chain
   leaving a clique (Theorem 2).
 
-The functions return small report dataclasses so the benchmark harness and
-EXPERIMENTS.md can record paper-claim vs. measured-outcome pairs.
+The functions return small report dataclasses so the benchmark harness, the
+scenario suites of :mod:`repro.experiments` and the claim-to-scenario map in
+``EXPERIMENTS.md`` (repository root) can record paper-claim vs.
+measured-outcome pairs.
 """
 
 from __future__ import annotations

@@ -1,0 +1,75 @@
+"""Scenario-suite experiment orchestrator.
+
+This package turns the repo's one-off benchmarks into a declarative,
+cacheable experiment pipeline.  The data flow of every run is
+
+    workload script --> netsim simulator --> history recorder
+                                      |            |
+                                      v            v
+                             efficiency metrics   consistency checker
+                                      \\            /
+                                       v          v
+                                  ScenarioRecord --> aggregate --> report
+
+* :mod:`~repro.experiments.spec` — declarative :class:`ScenarioSpec` /
+  :class:`ScenarioPoint` dataclasses: protocol line-up, distribution family,
+  workload pattern, seeds, parameter grids, content hashing;
+* :mod:`~repro.experiments.registry` — named-scenario registry grouped into
+  suites;
+* :mod:`~repro.experiments.suites` — the built-in ``paper`` and ``stress``
+  suites (registered on import);
+* :mod:`~repro.experiments.cache` — content-hash result cache, so repeated
+  runs of unchanged scenario/seed pairs are free;
+* :mod:`~repro.experiments.runner` — batch execution (optionally over a
+  ``multiprocessing`` pool) and per-scenario aggregation.
+
+CLI: ``python -m repro experiments list|run|report``.  Claim-to-scenario
+cross references live in EXPERIMENTS.md at the repository root.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .registry import REGISTRY, ScenarioRegistry
+from .runner import (
+    ScenarioRecord,
+    SuiteResult,
+    aggregate_records,
+    run_point,
+    run_suite,
+)
+from .spec import (
+    CACHE_VERSION,
+    DISTRIBUTION_FAMILIES,
+    TOPOLOGIES,
+    WORKLOAD_PATTERNS,
+    DistributionSpec,
+    ScenarioPoint,
+    ScenarioSpec,
+    ScenarioSpecError,
+    WorkloadSpec,
+    build_topology,
+)
+from .suites import builtin_scenarios, register_builtin_scenarios
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "DISTRIBUTION_FAMILIES",
+    "DistributionSpec",
+    "REGISTRY",
+    "ResultCache",
+    "ScenarioPoint",
+    "ScenarioRecord",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "ScenarioSpecError",
+    "SuiteResult",
+    "TOPOLOGIES",
+    "WORKLOAD_PATTERNS",
+    "WorkloadSpec",
+    "aggregate_records",
+    "build_topology",
+    "builtin_scenarios",
+    "register_builtin_scenarios",
+    "run_point",
+    "run_suite",
+]

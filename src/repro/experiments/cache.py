@@ -1,0 +1,89 @@
+"""Content-hash result cache for experiment runs.
+
+Each executed :class:`~repro.experiments.spec.ScenarioPoint` is stored as one
+JSON file named after the point's :meth:`content_hash` under the cache
+directory (``.repro-cache/`` by default).  A repeated run of an unchanged
+scenario/seed pair therefore skips the simulation and the consistency search
+entirely and replays the stored record; changing any parameter, seed,
+protocol or the cache format version changes the hash and forces a fresh run.
+
+The files are self-describing: alongside the record they carry the canonical
+key that produced the hash, so ``cat`` on a cache entry tells you exactly
+which run it belongs to.  Corrupt or unreadable entries are treated as
+misses, never as errors — a cache must only ever make things faster.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """A directory of ``<content-hash>.json`` scenario records."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.directory = Path(directory if directory is not None else DEFAULT_CACHE_DIR)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, content_hash: str) -> Path:
+        """Filesystem path of the entry for ``content_hash``."""
+        return self.directory / f"{content_hash}.json"
+
+    def get(self, content_hash: str) -> Optional[Dict[str, Any]]:
+        """The stored record dict, or ``None`` on a miss (or unreadable entry)."""
+        path = self.path_for(content_hash)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            record = entry["record"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, content_hash: str, key: Dict[str, Any], record: Dict[str, Any]) -> Path:
+        """Store ``record`` (with its canonical ``key``) atomically; returns the path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(content_hash)
+        payload = json.dumps({"key": key, "record": record}, indent=2, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ResultCache dir={str(self.directory)!r} entries={len(self)}>"

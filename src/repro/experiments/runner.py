@@ -1,0 +1,249 @@
+"""Batch execution of scenario suites: expand, cache-check, run, aggregate.
+
+The runner turns declarative :class:`~repro.experiments.spec.ScenarioSpec`
+objects into :class:`ScenarioRecord` results.  For every expanded point it
+
+1. builds the variable distribution and the scripted workload,
+2. replays the script through a fresh :class:`repro.mcs.MCSystem` over the
+   discrete-event network simulator,
+3. checks the recorded history against the consistency criterion the protocol
+   claims to implement (:data:`repro.mcs.PROTOCOL_CRITERION`),
+4. derives the Section 3.3 efficiency report and the Theorem 1 relevance
+   accounting from the run's network statistics.
+
+Results are memoised through :class:`~repro.experiments.cache.ResultCache`
+(content-hash keyed, see :mod:`repro.experiments.cache`) and independent
+points can be fanned out over a ``multiprocessing`` pool — scenario runs
+share no state, so the speed-up is close to linear until the pool saturates
+the machine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..core.consistency import get_checker
+from ..mcs.metrics import relevance_violations
+from ..mcs.system import PROTOCOL_CRITERION, MCSystem
+from ..workloads.access_patterns import run_script
+from .cache import ResultCache
+from .spec import ScenarioPoint, ScenarioSpec
+
+
+@dataclass
+class ScenarioRecord:
+    """Structured result of one executed scenario point."""
+
+    scenario: str
+    suite: str
+    paper_ref: str
+    protocol: str
+    seed: int
+    distribution: str
+    workload: str
+    params: Dict[str, Any]
+    criterion: str
+    consistent: Optional[bool]
+    exact: bool
+    processes: int
+    variables: int
+    operations: int
+    messages: int
+    payload_bytes: int
+    control_bytes: int
+    control_bytes_per_message: float
+    irrelevant_messages: int
+    irrelevant_fraction: float
+    relevance_violations: int
+    elapsed_s: float
+    cached: bool = False
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat row for the plain-text table renderers."""
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "criterion": self.criterion,
+            "ok": {True: "yes", False: "NO", None: "n/a"}[self.consistent],
+            "exact": "yes" if self.exact else "heuristic",
+            "procs": self.processes,
+            "vars": self.variables,
+            "ops": self.operations,
+            "msgs": self.messages,
+            "ctrl_B/msg": round(self.control_bytes_per_message, 1),
+            "irrelevant": self.irrelevant_messages,
+            "beyond_thm1": self.relevance_violations,
+            "time_s": round(self.elapsed_s, 3),
+            "cached": "hit" if self.cached else "",
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (the shape stored in the result cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioRecord":
+        """Rebuild a record from :meth:`to_dict` output (tolerates extra keys).
+
+        Raises :class:`TypeError` when ``data`` is not a complete record dict.
+        """
+        if not isinstance(data, dict):
+            raise TypeError(f"record entry must be a dict, got {type(data).__name__}")
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - py37-safe
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class SuiteResult:
+    """Outcome of a batch run: records plus cache accounting."""
+
+    records: List[ScenarioRecord] = field(default_factory=list)
+    executed: int = 0
+    cached: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def failures(self) -> List[ScenarioRecord]:
+        """Records whose consistency check failed (``consistent is False``)."""
+        return [r for r in self.records if r.consistent is False]
+
+
+def run_point(point: ScenarioPoint) -> ScenarioRecord:
+    """Execute one scenario point end-to-end and build its record."""
+    started = time.perf_counter()
+    distribution = point.distribution.build(seed=point.seed)
+    script = point.workload.build(distribution, seed=point.seed)
+    system = MCSystem(distribution, protocol=point.protocol)
+    run_script(system, script)
+    report = system.efficiency()
+    criterion = PROTOCOL_CRITERION[point.protocol]
+    consistent: Optional[bool] = None
+    exact = point.exact
+    if point.check_consistency:
+        history = system.history()
+        result = get_checker(criterion).check(
+            history, read_from=system.read_from(), exact=point.exact
+        )
+        consistent = result.consistent
+        exact = result.exact
+    violations = relevance_violations(report, distribution)
+    return ScenarioRecord(
+        scenario=point.scenario,
+        suite=point.suite,
+        paper_ref=point.paper_ref,
+        protocol=point.protocol,
+        seed=point.seed,
+        distribution=point.distribution.family,
+        workload=point.workload.pattern,
+        params={**point.distribution.params, **point.workload.params},
+        criterion=criterion,
+        consistent=consistent,
+        exact=exact,
+        processes=report.processes,
+        variables=report.variables,
+        operations=len(script),
+        messages=report.messages_sent,
+        payload_bytes=report.payload_bytes,
+        control_bytes=report.control_bytes,
+        control_bytes_per_message=report.control_bytes_per_message,
+        irrelevant_messages=report.irrelevant_messages,
+        irrelevant_fraction=report.irrelevant_message_fraction,
+        relevance_violations=sum(len(v) for v in violations.values()),
+        elapsed_s=time.perf_counter() - started,
+        cached=False,
+    )
+
+
+def run_suite(
+    specs: Sequence[ScenarioSpec],
+    cache: Optional[ResultCache] = None,
+    workers: int = 0,
+    progress: Optional[Any] = None,
+) -> SuiteResult:
+    """Run every point of every spec, reusing cached results where possible.
+
+    Parameters
+    ----------
+    specs:
+        The scenarios to run (each is expanded to its full grid).
+    cache:
+        Result cache; pass ``None`` to disable caching entirely.
+    workers:
+        When > 1, cache misses are executed in a ``multiprocessing`` pool of
+        that size (scenario points are independent, so any split is sound).
+    progress:
+        Optional ``callable(str)`` invoked with a one-line status per point.
+    """
+    started = time.perf_counter()
+    result = SuiteResult()
+    pending: List[ScenarioPoint] = []
+    say = progress or (lambda line: None)
+    for spec in specs:
+        for point in spec.expand():
+            if cache is not None:
+                stored = cache.get(point.content_hash())
+                if stored is not None:
+                    try:
+                        record = ScenarioRecord.from_dict(stored)
+                    except TypeError:
+                        # incomplete/foreign entry: a cache may only ever make
+                        # things faster, so treat it as a miss and re-run
+                        record = None
+                    if record is not None:
+                        record.cached = True
+                        result.records.append(record)
+                        result.cached += 1
+                        say(f"cached   {point.label()}")
+                        continue
+            pending.append(point)
+    if pending and workers > 1:
+        with multiprocessing.Pool(processes=workers) as pool:
+            fresh = pool.map(run_point, pending, chunksize=1)
+    else:
+        fresh = [run_point(point) for point in pending]
+    for point, record in zip(pending, fresh):
+        say(f"executed {point.label()} ({record.elapsed_s:.3f}s)")
+        if cache is not None:
+            cache.put(point.content_hash(), point.key(), record.to_dict())
+        result.records.append(record)
+        result.executed += 1
+    result.elapsed_s = time.perf_counter() - started
+    return result
+
+
+def aggregate_records(records: Iterable[ScenarioRecord]) -> List[Dict[str, Any]]:
+    """Aggregate per-point records into per-(scenario, protocol) summary rows.
+
+    Counts are summed over seeds/grid cells; ratios are averaged.  The rows
+    feed :func:`repro.analysis.report.render_table` /
+    :func:`~repro.analysis.report.render_records` directly.
+    """
+    groups: Dict[Any, List[ScenarioRecord]] = {}
+    for record in records:
+        groups.setdefault((record.scenario, record.protocol), []).append(record)
+    rows: List[Dict[str, Any]] = []
+    for (scenario, protocol), group in sorted(groups.items()):
+        n = len(group)
+        verdicts = [r.consistent for r in group if r.consistent is not None]
+        all_exact = all(r.exact for r in group if r.consistent is not None)
+        rows.append({
+            "scenario": scenario,
+            "protocol": protocol,
+            "runs": n,
+            "criterion": group[0].criterion,
+            # a heuristic "yes" is only "no violation found", not a proof
+            "ok": ("n/a" if not verdicts
+                   else ("yes" if all_exact else "yes (heuristic)")
+                   if all(verdicts) else "NO"),
+            "msgs": sum(r.messages for r in group),
+            "ctrl_B/msg": round(sum(r.control_bytes_per_message for r in group) / n, 1),
+            "irrelevant": sum(r.irrelevant_messages for r in group),
+            "beyond_thm1": sum(r.relevance_violations for r in group),
+            "cached": sum(1 for r in group if r.cached),
+            "time_s": round(sum(r.elapsed_s for r in group), 3),
+        })
+    return rows

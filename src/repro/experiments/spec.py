@@ -1,0 +1,377 @@
+"""Declarative scenario specifications and their grid expansion.
+
+A :class:`ScenarioSpec` names everything needed to run one experiment family
+end-to-end: a protocol line-up from :data:`repro.mcs.PROTOCOLS`, a variable
+distribution family from :mod:`repro.workloads.distributions` (optionally
+built over a topology from :mod:`repro.workloads.topology`), a scripted
+access pattern from :mod:`repro.workloads.access_patterns`, the seeds to
+replay, and an optional parameter grid.  Specs are pure data: they are
+validated eagerly (:meth:`ScenarioSpec.validate`) and expanded lazily into
+concrete :class:`ScenarioPoint` runs (:meth:`ScenarioSpec.expand`), one per
+``protocol x seed x grid-cell``.
+
+Each point canonicalises to a JSON-stable key whose SHA-256 digest
+(:meth:`ScenarioPoint.content_hash`) identifies its result in the cache.  The
+scenario name is part of that identity (renaming a scenario re-runs it), but
+presentation-only fields (suite, paper_ref, description) are not; any change
+to a parameter, seed or protocol invalidates only the affected points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..core.distribution import VariableDistribution
+from ..exceptions import ReproError
+from ..mcs.system import PROTOCOLS
+from ..workloads.access_patterns import (
+    Access,
+    single_writer_script,
+    uniform_access_script,
+)
+from ..workloads.distributions import (
+    chain_distribution,
+    disjoint_blocks,
+    full_replication,
+    neighbourhood_distribution,
+    random_distribution,
+)
+from ..workloads.topology import (
+    WeightedDigraph,
+    figure8_network,
+    line_network,
+    random_network,
+    ring_network,
+    star_network,
+)
+
+#: Bump when the record layout or run semantics change; part of every content
+#: hash, so stale cache entries are never reused across incompatible versions.
+CACHE_VERSION = 1
+
+
+class ScenarioSpecError(ReproError):
+    """A scenario specification is malformed (unknown name, bad parameter...)."""
+
+
+# ---------------------------------------------------------------------------
+# Topology and distribution families
+# ---------------------------------------------------------------------------
+
+def _neighbourhood_over_topology(
+    topology: str = "figure8", **params: Any
+) -> VariableDistribution:
+    graph = build_topology(topology, **params)
+    return neighbourhood_distribution(graph)
+
+
+#: Topology builders usable by the ``neighbourhood`` distribution family.
+TOPOLOGIES: Dict[str, Callable[..., WeightedDigraph]] = {
+    "figure8": figure8_network,
+    "line": line_network,
+    "ring": ring_network,
+    "star": star_network,
+    "random": random_network,
+}
+
+#: Allowed parameters per topology (``figure8`` takes none).
+TOPOLOGY_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "figure8": (),
+    "line": ("nodes", "weight"),
+    "ring": ("nodes", "weight"),
+    "star": ("nodes", "weight"),
+    "random": ("nodes", "extra_edges", "seed", "max_weight", "symmetric"),
+}
+
+#: Distribution family builders, keyed by the name used in specs.
+DISTRIBUTION_FAMILIES: Dict[str, Callable[..., VariableDistribution]] = {
+    "full_replication": full_replication,
+    "disjoint_blocks": disjoint_blocks,
+    "chain": chain_distribution,
+    "random": random_distribution,
+    "neighbourhood": _neighbourhood_over_topology,
+}
+
+#: Allowed parameters per distribution family (validated eagerly so a typo in
+#: a spec fails at registration time, not halfway through a suite run).
+DISTRIBUTION_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "full_replication": ("processes", "variables"),
+    "disjoint_blocks": ("groups", "group_size", "variables_per_group"),
+    "chain": ("intermediates", "studied_variable"),
+    "random": ("processes", "variables", "replicas_per_variable", "seed"),
+    "neighbourhood": ("topology",) + tuple(
+        sorted({p for params in TOPOLOGY_PARAMS.values() for p in params})
+    ),
+}
+
+#: Families whose builder accepts a ``seed``; when the spec omits it, the
+#: point's workload seed is injected so the seed axis also varies the layout.
+SEEDED_FAMILIES = frozenset({"random"})
+
+#: Workload access-pattern generators, keyed by the name used in specs.
+WORKLOAD_PATTERNS: Dict[str, Callable[..., List[Access]]] = {
+    "uniform": uniform_access_script,
+    "single_writer": single_writer_script,
+}
+
+#: Allowed parameters per workload pattern (``seed`` comes from the point).
+WORKLOAD_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "uniform": ("operations_per_process", "write_fraction"),
+    "single_writer": ("writes_per_variable", "reads_per_replica"),
+}
+
+
+def build_topology(name: str, **params: Any) -> WeightedDigraph:
+    """Build a named topology, validating the parameter names."""
+    try:
+        builder = TOPOLOGIES[name]
+    except KeyError:
+        raise ScenarioSpecError(
+            f"unknown topology {name!r}; known: {sorted(TOPOLOGIES)}"
+        ) from None
+    allowed = TOPOLOGY_PARAMS[name]
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise ScenarioSpecError(
+            f"topology {name!r} does not accept parameters {unknown}; allowed: {sorted(allowed)}"
+        )
+    return builder(**params)
+
+
+# ---------------------------------------------------------------------------
+# Spec dataclasses
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DistributionSpec:
+    """Which variable distribution to build: a family name plus its parameters."""
+
+    family: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.family not in DISTRIBUTION_FAMILIES:
+            raise ScenarioSpecError(
+                f"unknown distribution family {self.family!r}; "
+                f"known: {sorted(DISTRIBUTION_FAMILIES)}"
+            )
+        allowed = DISTRIBUTION_PARAMS[self.family]
+        unknown = sorted(set(self.params) - set(allowed))
+        if unknown:
+            raise ScenarioSpecError(
+                f"distribution family {self.family!r} does not accept parameters "
+                f"{unknown}; allowed: {sorted(allowed)}"
+            )
+        if self.family == "neighbourhood":
+            topology = self.params.get("topology", "figure8")
+            if topology not in TOPOLOGIES:
+                raise ScenarioSpecError(
+                    f"unknown topology {topology!r}; known: {sorted(TOPOLOGIES)}"
+                )
+            incompatible = sorted(
+                set(self.params) - {"topology"} - set(TOPOLOGY_PARAMS[topology])
+            )
+            if incompatible:
+                raise ScenarioSpecError(
+                    f"topology {topology!r} does not accept parameters "
+                    f"{incompatible}; allowed: {sorted(TOPOLOGY_PARAMS[topology])}"
+                )
+
+    def build(self, seed: int = 0) -> VariableDistribution:
+        """Materialise the distribution (``seed`` fills in a missing family seed)."""
+        self.validate()
+        params = dict(self.params)
+        if self.family in SEEDED_FAMILIES:
+            params.setdefault("seed", seed)
+        return DISTRIBUTION_FAMILIES[self.family](**params)
+
+
+@dataclass
+class WorkloadSpec:
+    """Which scripted access pattern to replay: a pattern name plus parameters."""
+
+    pattern: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.pattern not in WORKLOAD_PATTERNS:
+            raise ScenarioSpecError(
+                f"unknown workload pattern {self.pattern!r}; "
+                f"known: {sorted(WORKLOAD_PATTERNS)}"
+            )
+        allowed = WORKLOAD_PARAMS[self.pattern]
+        unknown = sorted(set(self.params) - set(allowed))
+        if unknown:
+            raise ScenarioSpecError(
+                f"workload pattern {self.pattern!r} does not accept parameters "
+                f"{unknown}; allowed: {sorted(allowed)}"
+            )
+        fraction = self.params.get("write_fraction")
+        if fraction is not None and not 0.0 <= float(fraction) <= 1.0:
+            raise ScenarioSpecError(
+                f"write_fraction must be in [0, 1], got {fraction!r}"
+            )
+
+    def build(self, distribution: VariableDistribution, seed: int = 0) -> List[Access]:
+        """Generate the access script for ``distribution`` with the given seed."""
+        self.validate()
+        return WORKLOAD_PATTERNS[self.pattern](distribution, seed=seed, **self.params)
+
+
+@dataclass
+class ScenarioSpec:
+    """One named experiment: protocols x distribution x workload x seeds x grid.
+
+    ``grid`` maps dotted axis names (``"distribution.<param>"`` or
+    ``"workload.<param>"``) to the sequence of values to sweep; the cross
+    product of all axes, the protocols and the seeds is the set of concrete
+    runs (:meth:`expand`).  ``paper_ref`` ties the scenario to the paper claim
+    it reproduces (see EXPERIMENTS.md at the repository root).
+    """
+
+    name: str
+    distribution: DistributionSpec
+    workload: WorkloadSpec
+    description: str = ""
+    suite: str = "custom"
+    paper_ref: str = ""
+    protocols: Tuple[str, ...] = ("pram_partial",)
+    seeds: Tuple[int, ...] = (0,)
+    grid: Dict[str, Sequence[Any]] = field(default_factory=dict)
+    check_consistency: bool = True
+    exact: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ScenarioSpecError` on the first malformed field."""
+        if not self.name or not self.name.replace("-", "").replace("_", "").isalnum():
+            raise ScenarioSpecError(
+                f"scenario name must be a non-empty [-_a-zA-Z0-9] slug, got {self.name!r}"
+            )
+        if not self.protocols:
+            raise ScenarioSpecError(f"scenario {self.name!r} lists no protocols")
+        for protocol in self.protocols:
+            if protocol not in PROTOCOLS:
+                raise ScenarioSpecError(
+                    f"scenario {self.name!r}: unknown protocol {protocol!r}; "
+                    f"known: {sorted(PROTOCOLS)}"
+                )
+        if not self.seeds:
+            raise ScenarioSpecError(f"scenario {self.name!r} lists no seeds")
+        self.distribution.validate()
+        self.workload.validate()
+        for axis, values in self.grid.items():
+            scope, _, param = axis.partition(".")
+            if scope not in ("distribution", "workload") or not param:
+                raise ScenarioSpecError(
+                    f"scenario {self.name!r}: grid axis {axis!r} must be "
+                    f"'distribution.<param>' or 'workload.<param>'"
+                )
+            allowed = (
+                DISTRIBUTION_PARAMS[self.distribution.family]
+                if scope == "distribution"
+                else WORKLOAD_PARAMS[self.workload.pattern]
+            )
+            if param not in allowed:
+                raise ScenarioSpecError(
+                    f"scenario {self.name!r}: grid axis {axis!r} names no parameter of "
+                    f"the {scope} spec; allowed: {sorted(allowed)}"
+                )
+            if not values:
+                raise ScenarioSpecError(
+                    f"scenario {self.name!r}: grid axis {axis!r} has no values"
+                )
+        # Re-validate every grid cell's merged specs, so a grid value that is
+        # incompatible with the base spec (e.g. a parameter a chosen topology
+        # rejects) fails here — at registration — not halfway through a run.
+        for dist, work in self._cells():
+            dist.validate()
+            work.validate()
+
+    def _cells(self) -> List[Tuple[DistributionSpec, WorkloadSpec]]:
+        """The grid-merged (distribution, workload) spec pair of every cell."""
+        axes = sorted(self.grid)
+        cells = itertools.product(*(self.grid[axis] for axis in axes)) if axes else [()]
+        merged: List[Tuple[DistributionSpec, WorkloadSpec]] = []
+        for cell in cells:
+            dist = replace(self.distribution, params=dict(self.distribution.params))
+            work = replace(self.workload, params=dict(self.workload.params))
+            for axis, value in zip(axes, cell):
+                scope, _, param = axis.partition(".")
+                target = dist if scope == "distribution" else work
+                target.params[param] = value
+            merged.append((dist, work))
+        return merged
+
+    def expand(self) -> List["ScenarioPoint"]:
+        """All concrete runs of the scenario, in deterministic order."""
+        self.validate()
+        points: List[ScenarioPoint] = []
+        for dist, work in self._cells():
+            for protocol in self.protocols:
+                for seed in self.seeds:
+                    points.append(
+                        ScenarioPoint(
+                            scenario=self.name,
+                            suite=self.suite,
+                            paper_ref=self.paper_ref,
+                            protocol=protocol,
+                            seed=seed,
+                            distribution=dist,
+                            workload=work,
+                            check_consistency=self.check_consistency,
+                            exact=self.exact,
+                        )
+                    )
+        return points
+
+
+@dataclass
+class ScenarioPoint:
+    """One concrete, cache-addressable run: everything resolved but not executed."""
+
+    scenario: str
+    protocol: str
+    seed: int
+    distribution: DistributionSpec
+    workload: WorkloadSpec
+    suite: str = "custom"
+    paper_ref: str = ""
+    check_consistency: bool = True
+    exact: bool = True
+
+    def key(self) -> Dict[str, Any]:
+        """The canonical identity of the run (everything that affects its result).
+
+        Presentation-only fields (``suite``, ``paper_ref``) are deliberately
+        excluded so re-filing a scenario does not invalidate its cache.
+        """
+        return {
+            "cache_version": CACHE_VERSION,
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "distribution": {"family": self.distribution.family,
+                             "params": dict(self.distribution.params)},
+            "workload": {"pattern": self.workload.pattern,
+                         "params": dict(self.workload.params)},
+            "check_consistency": self.check_consistency,
+            "exact": self.exact,
+        }
+
+    def content_hash(self) -> str:
+        """SHA-256 digest of the canonical JSON key (the cache address)."""
+        canonical = json.dumps(self.key(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Compact human-readable identifier used by logs and progress output."""
+        extras = "/".join(
+            f"{k}={v}"
+            for k, v in sorted({**self.distribution.params, **self.workload.params}.items())
+        )
+        suffix = f" [{extras}]" if extras else ""
+        return f"{self.scenario}:{self.protocol}:s{self.seed}{suffix}"

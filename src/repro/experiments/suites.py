@@ -1,0 +1,220 @@
+"""Built-in scenario suites: paper reproductions plus stress scenarios.
+
+Two suites ship with the library (both registered on the global
+:data:`~repro.experiments.registry.REGISTRY` at import time):
+
+``paper``
+    One scenario per quantitative claim of Hélary & Milani: the hoop-free
+    baseline of Figure 1, the Figure 2 hoop, the Theorem 1 hoop-traffic sweep,
+    the Theorem 2 PRAM-confinement check, the Section 3.3 protocol-overhead
+    comparison and the Section 6 Bellman-Ford access pattern.  EXPERIMENTS.md
+    at the repository root cross-references every scenario to the claim, the
+    module and the test that back it.
+
+``stress``
+    Scenarios beyond the paper's scale: larger cliques, long hoops, skewed
+    write-heavy workloads and ring/star/random topologies.  These run with
+    ``exact=False`` (polynomial pre-check only) where the exact serialization
+    search would dominate the runtime; their verdicts are therefore
+    falsification checks, not consistency proofs (see
+    :meth:`repro.core.consistency.base.CheckResult.witness`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .registry import REGISTRY, ScenarioRegistry
+from .spec import DistributionSpec, ScenarioSpec, WorkloadSpec
+
+
+def builtin_scenarios() -> List[ScenarioSpec]:
+    """Fresh spec objects for every built-in scenario (paper + stress suites)."""
+    return [
+        # ------------------------------------------------------------------ paper
+        ScenarioSpec(
+            name="hoopfree-blocks",
+            suite="paper",
+            paper_ref="Figure 1 / Section 3.1",
+            description="Hoop-free disjoint clusters: partial replication is "
+                        "efficient for every protocol, no message ever reaches "
+                        "an x-irrelevant process.",
+            protocols=("pram_partial", "causal_partial", "causal_full"),
+            distribution=DistributionSpec("disjoint_blocks",
+                                          {"groups": 2, "group_size": 3,
+                                           "variables_per_group": 2}),
+            workload=WorkloadSpec("uniform", {"operations_per_process": 8,
+                                              "write_fraction": 0.5}),
+            seeds=(0, 1),
+        ),
+        ScenarioSpec(
+            name="figure2-hoop",
+            suite="paper",
+            paper_ref="Figure 2 / Theorem 1",
+            description="The canonical x-hoop: intermediate processes never "
+                        "access x yet the causal protocols route x-control "
+                        "information through them.",
+            protocols=("pram_partial", "causal_partial", "causal_full"),
+            distribution=DistributionSpec("chain", {"intermediates": 2}),
+            workload=WorkloadSpec("uniform", {"operations_per_process": 6,
+                                              "write_fraction": 0.6}),
+            seeds=(0, 1),
+        ),
+        ScenarioSpec(
+            name="theorem1-hoop-traffic",
+            suite="paper",
+            paper_ref="Theorem 1",
+            description="Hoop-length sweep: irrelevant-message counts grow "
+                        "with the hoop for causal partial replication and stay "
+                        "zero for the PRAM protocol.",
+            protocols=("pram_partial", "causal_partial"),
+            distribution=DistributionSpec("chain", {"intermediates": 1}),
+            workload=WorkloadSpec("uniform", {"operations_per_process": 6,
+                                              "write_fraction": 0.6}),
+            grid={"distribution.intermediates": (1, 2, 4)},
+            seeds=(0,),
+        ),
+        ScenarioSpec(
+            name="theorem2-pram-confinement",
+            suite="paper",
+            paper_ref="Theorem 2",
+            description="PRAM partial replication confines information about x "
+                        "to C(x): zero relevance violations across seeds.",
+            protocols=("pram_partial",),
+            distribution=DistributionSpec("random",
+                                          {"processes": 6, "variables": 8,
+                                           "replicas_per_variable": 3}),
+            workload=WorkloadSpec("uniform", {"operations_per_process": 10,
+                                              "write_fraction": 0.6}),
+            seeds=(0, 1, 2),
+        ),
+        ScenarioSpec(
+            name="section33-overhead",
+            suite="paper",
+            paper_ref="Section 3.3",
+            description="Same workload over every protocol: control bytes per "
+                        "message and irrelevant-message counts, the paper's "
+                        "efficiency comparison.",
+            protocols=("pram_partial", "causal_partial", "causal_full",
+                       "sequencer_sc"),
+            distribution=DistributionSpec("random",
+                                          {"processes": 6, "variables": 8,
+                                           "replicas_per_variable": 3}),
+            workload=WorkloadSpec("uniform", {"operations_per_process": 6,
+                                              "write_fraction": 0.6}),
+            seeds=(0,),
+        ),
+        ScenarioSpec(
+            name="section6-bellman-ford",
+            suite="paper",
+            paper_ref="Section 6 / Figures 7-9",
+            description="The routing access pattern on the Figure 8 network: "
+                        "single writer per variable, neighbourhood replication "
+                        "- the setting where PRAM consistency suffices.",
+            protocols=("pram_partial", "causal_partial"),
+            distribution=DistributionSpec("neighbourhood",
+                                          {"topology": "figure8"}),
+            workload=WorkloadSpec("single_writer", {"writes_per_variable": 6,
+                                                    "reads_per_replica": 6}),
+            seeds=(0,),
+        ),
+        # ----------------------------------------------------------------- stress
+        ScenarioSpec(
+            name="stress-large-clique",
+            suite="stress",
+            paper_ref="Section 3.1 (scaled)",
+            description="Full replication over ten processes: the classical "
+                        "setting's message blow-up, the baseline partial "
+                        "replication is meant to beat.",
+            protocols=("pram_partial", "causal_full"),
+            distribution=DistributionSpec("full_replication",
+                                          {"processes": 10, "variables": 3}),
+            workload=WorkloadSpec("uniform", {"operations_per_process": 6,
+                                              "write_fraction": 0.5}),
+            seeds=(0,),
+            exact=False,
+        ),
+        ScenarioSpec(
+            name="stress-long-hoop",
+            suite="stress",
+            paper_ref="Theorem 1 (scaled)",
+            description="Hoops of six and ten intermediates: worst-case "
+                        "x-relevance spread for the causal protocols.",
+            protocols=("pram_partial", "causal_partial"),
+            distribution=DistributionSpec("chain", {"intermediates": 6}),
+            workload=WorkloadSpec("uniform", {"operations_per_process": 4,
+                                              "write_fraction": 0.6}),
+            grid={"distribution.intermediates": (6, 10)},
+            seeds=(0,),
+            exact=False,
+        ),
+        ScenarioSpec(
+            name="stress-write-heavy",
+            suite="stress",
+            paper_ref="Section 3.3 (skewed)",
+            description="90% writes over a random distribution: the regime "
+                        "where control-information overhead dominates.",
+            protocols=("pram_partial", "causal_partial"),
+            distribution=DistributionSpec("random",
+                                          {"processes": 8, "variables": 12,
+                                           "replicas_per_variable": 3}),
+            workload=WorkloadSpec("uniform", {"operations_per_process": 10,
+                                              "write_fraction": 0.9}),
+            seeds=(0, 1),
+            exact=False,
+        ),
+        ScenarioSpec(
+            name="stress-ring",
+            suite="stress",
+            paper_ref="Section 6 (ring)",
+            description="Neighbourhood replication on an 8-node ring: every "
+                        "process lies on a hoop of the ring's girth.",
+            protocols=("pram_partial", "causal_partial"),
+            distribution=DistributionSpec("neighbourhood",
+                                          {"topology": "ring", "nodes": 8}),
+            workload=WorkloadSpec("single_writer", {"writes_per_variable": 4,
+                                                    "reads_per_replica": 4}),
+            seeds=(0,),
+            exact=False,
+        ),
+        ScenarioSpec(
+            name="stress-star",
+            suite="stress",
+            paper_ref="Section 6 (star)",
+            description="Neighbourhood replication on an 8-node star: the "
+                        "hub's variable forms one large clique, the leaves' "
+                        "stay pairwise.",
+            protocols=("pram_partial", "causal_partial"),
+            distribution=DistributionSpec("neighbourhood",
+                                          {"topology": "star", "nodes": 8}),
+            workload=WorkloadSpec("single_writer", {"writes_per_variable": 4,
+                                                    "reads_per_replica": 4}),
+            seeds=(0,),
+            exact=False,
+        ),
+        ScenarioSpec(
+            name="stress-random-topology",
+            suite="stress",
+            paper_ref="Section 6 (random)",
+            description="Neighbourhood replication on a random connected "
+                        "8-node network with extra links.",
+            protocols=("pram_partial",),
+            distribution=DistributionSpec("neighbourhood",
+                                          {"topology": "random", "nodes": 8,
+                                           "extra_edges": 6, "seed": 7}),
+            workload=WorkloadSpec("single_writer", {"writes_per_variable": 4,
+                                                    "reads_per_replica": 4}),
+            seeds=(0,),
+            exact=False,
+        ),
+    ]
+
+
+def register_builtin_scenarios(registry: ScenarioRegistry = REGISTRY) -> None:
+    """Register every built-in scenario on ``registry`` (idempotent)."""
+    for spec in builtin_scenarios():
+        if spec.name not in registry:
+            registry.register(spec)
+
+
+register_builtin_scenarios()

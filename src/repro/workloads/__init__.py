@@ -22,6 +22,7 @@ from .topology import (
     line_network,
     random_network,
     ring_network,
+    star_network,
 )
 
 __all__ = [
@@ -42,5 +43,6 @@ __all__ = [
     "run_workload",
     "serial_history",
     "single_writer_script",
+    "star_network",
     "uniform_access_script",
 ]

@@ -198,3 +198,19 @@ def ring_network(nodes: int, weight: float = 1.0) -> WeightedDigraph:
     for idx in range(1, nodes + 1):
         graph.add_link(idx, idx % nodes + 1, weight)
     return graph
+
+
+def star_network(nodes: int, weight: float = 1.0) -> WeightedDigraph:
+    """A star network: node 1 is the hub, every other node a leaf.
+
+    Under neighbourhood replication the hub's variable is replicated at every
+    leaf (one large clique) while each leaf's variable stays pairwise with
+    the hub — a maximally skewed replication degree.
+    """
+    if nodes < 1:
+        raise ValueError("need at least one node")
+    graph = WeightedDigraph()
+    graph.add_node(1)
+    for leaf in range(2, nodes + 1):
+        graph.add_link(1, leaf, weight)
+    return graph

@@ -1,0 +1,113 @@
+"""Smoke tests of the ``repro experiments`` command group."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiments_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments"])
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["experiments", "run", "--suite", "paper", "--workers", "3",
+             "--cache-dir", "/tmp/c", "--no-cache", "--scenario", "figure2-hoop"]
+        )
+        assert args.command == "experiments" and args.exp_command == "run"
+        assert args.suite == "paper" and args.workers == 3
+        assert args.scenario == ["figure2-hoop"] and args.no_cache
+
+
+class TestList:
+    def test_lists_builtin_scenarios(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure2-hoop", "theorem2-pram-confinement", "stress-star"):
+            assert name in out
+
+    def test_suite_filter(self, capsys):
+        assert main(["experiments", "list", "--suite", "stress"]) == 0
+        out = capsys.readouterr().out
+        assert "stress-long-hoop" in out and "figure2-hoop" not in out
+
+
+class TestRun:
+    def test_single_scenario_run_and_cache_hit(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["experiments", "run", "--scenario", "figure2-hoop",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "6 runs: 6 executed, 0 cached" in first
+        assert "figure2-hoop" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "6 runs: 0 executed, 6 cached" in second
+
+    def test_no_cache_flag_skips_the_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["experiments", "run", "--scenario", "figure2-hoop",
+                "--cache-dir", cache_dir, "--no-cache"]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 cached" in out
+
+    def test_json_export_and_report(self, tmp_path, capsys):
+        records_file = str(tmp_path / "records.json")
+        assert main(["experiments", "run", "--scenario", "figure2-hoop",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--json", records_file]) == 0
+        capsys.readouterr()
+        with open(records_file, encoding="utf-8") as handle:
+            records = json.load(handle)
+        assert len(records) == 6
+        assert {r["scenario"] for r in records} == {"figure2-hoop"}
+
+        assert main(["experiments", "report", "--json", records_file,
+                     "--per-run"]) == 0
+        out = capsys.readouterr().out
+        assert "Aggregated scenario records" in out
+        assert "Per-run records" in out
+
+    def test_unknown_scenario_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["experiments", "run", "--scenario", "no-such",
+                     "--cache-dir", str(tmp_path / "cache")]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'no-such'" in err
+
+    def test_missing_record_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["experiments", "report",
+                     "--json", str(tmp_path / "absent.json")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read record file" in err
+
+    def test_unwritable_json_export_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["experiments", "run", "--scenario", "figure2-hoop",
+                     "--no-cache",
+                     "--json", str(tmp_path / "absent-dir" / "out.json")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot write record file" in err
+
+    def test_malformed_record_entries_are_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2]", encoding="utf-8")
+        assert main(["experiments", "report", "--json", str(bad)]) == 2
+        assert "cannot read record file" in capsys.readouterr().err
+
+    def test_unknown_suite_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["experiments", "run", "--suite", "papr",
+                     "--cache-dir", str(tmp_path / "cache")]) == 2
+        assert "unknown suite 'papr'" in capsys.readouterr().err
+        assert main(["experiments", "list", "--suite", "papr"]) == 2
+
+    def test_repeated_scenario_flag_runs_once(self, tmp_path, capsys):
+        assert main(["experiments", "run", "--scenario", "figure2-hoop",
+                     "--scenario", "figure2-hoop", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "6 runs: 6 executed" in out

@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench experiments experiments-smoke clean-cache
+.PHONY: test bench bench-checkers bench-checkers-baseline experiments experiments-smoke clean-cache
 
 # Tier-1 verification (the command ROADMAP.md records).
 test:
@@ -13,6 +13,18 @@ test:
 # Benchmark harness: re-asserts the paper's qualitative claims under timing.
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Tier-2 benchmark smoke job: run the checker benchmarks, then fail if the
+# consistency-check hot path regressed >2x against the committed baseline
+# (benchmarks/checkers_baseline.json; timings are calibration-normalised so
+# the comparison is machine-independent).
+bench-checkers:
+	$(PYTHON) -m pytest benchmarks/test_bench_checkers.py --benchmark-only -q
+	$(PYTHON) benchmarks/check_regression.py
+
+# Re-measure and commit a new checker baseline (after a deliberate change).
+bench-checkers-baseline:
+	$(PYTHON) benchmarks/check_regression.py --update
 
 # One-scenario end-to-end check of the experiment orchestrator.
 experiments-smoke:

@@ -1,0 +1,151 @@
+"""Tier-2 benchmark smoke check for the consistency-check hot path.
+
+Measures the polynomial pre-check (``exact=False``) of the per-process
+checkers on the same 500+ operation stress history the benchmarks use and
+compares against the committed baseline in ``checkers_baseline.json``.  The
+check fails (exit code 1) when any measurement is more than ``TOLERANCE``
+times slower than its baseline.  To keep the bound meaningful across
+machines and under load, every run also times a fixed pure-Python
+calibration loop and the comparison is made on *calibration-normalised*
+ratios — host speed and transient load cancel out, so a >2× excursion is an
+algorithmic regression, not noise.
+
+Usage::
+
+    python benchmarks/check_regression.py            # compare against baseline
+    python benchmarks/check_regression.py --update   # re-measure and commit a
+                                                     # new baseline JSON
+
+Run via ``make bench-checkers`` / ``make bench-checkers-baseline``.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+BASELINE_PATH = Path(__file__).with_name("checkers_baseline.json")
+TOLERANCE = 2.0
+REPEATS = 7
+CRITERIA = ("pram", "causal", "slow")
+
+
+def build_stress_case():
+    """The 500+ op protocol trace used by ``test_bench_checkers`` (same seed)."""
+    from repro.mcs.system import MCSystem
+    from repro.workloads.access_patterns import run_script, uniform_access_script
+    from repro.workloads.distributions import random_distribution
+
+    dist = random_distribution(processes=8, variables=10, replicas_per_variable=4, seed=7)
+    system = MCSystem(dist, protocol="pram_partial")
+    run_script(system, uniform_access_script(dist, operations_per_process=65, seed=7))
+    history, read_from = system.history(), system.read_from()
+    assert len(history) >= 500
+    return history, read_from
+
+
+def _calibration_sample() -> float:
+    """One timing of a fixed pure-Python loop, in seconds.
+
+    The loop has no I/O and fixed size, so it scales exactly with interpreter
+    speed and host load — dividing the checker timings by it turns them into
+    machine-independent quantities.
+    """
+    started = time.perf_counter()
+    acc = 0
+    for i in range(300_000):
+        acc += i & 7
+    _ = acc
+    return time.perf_counter() - started
+
+
+def measure() -> dict:
+    """Median-of-``REPEATS`` pre-check wall time per criterion, in milliseconds.
+
+    Calibration and criteria are sampled round-robin so a transient host
+    stall inflates one *round* (filtered by the median) rather than every
+    sample of a single measurement.
+    """
+    from repro.core.consistency import get_checker
+
+    history, read_from = build_stress_case()
+    checkers = {criterion: get_checker(criterion) for criterion in CRITERIA}
+    samples = {criterion: [] for criterion in CRITERIA}
+    calibration = []
+    for _ in range(REPEATS):
+        calibration.append(_calibration_sample())
+        for criterion, checker in checkers.items():
+            started = time.perf_counter()
+            result = checker.check(history, read_from, exact=False)
+            samples[criterion].append(time.perf_counter() - started)
+            if not result.consistent:
+                raise SystemExit(
+                    f"stress history unexpectedly inconsistent under {criterion}; "
+                    "the benchmark workload changed — refresh the baseline deliberately"
+                )
+    timings = {"calibration_ms": round(statistics.median(calibration) * 1e3, 3)}
+    for criterion in CRITERIA:
+        timings[f"{criterion}_precheck_ms"] = round(statistics.median(samples[criterion]) * 1e3, 3)
+    return timings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true", help="rewrite the baseline JSON")
+    args = parser.parse_args(argv)
+
+    measured = measure()
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(measured, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {BASELINE_PATH}")
+        for key, value in sorted(measured.items()):
+            print(f"  {key}: {value} ms")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update first", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    # Normalise both sides by their own calibration time so the comparison is
+    # machine- and load-independent.
+    reference_cal = baseline.get("calibration_ms") or 1.0
+    current_cal = measured["calibration_ms"]
+    print(f"calibration: {current_cal} ms now vs {reference_cal} ms at baseline time")
+
+    failures = []
+    for key, reference in sorted(baseline.items()):
+        if key == "calibration_ms":
+            continue
+        current = measured.get(key)
+        if current is None:
+            failures.append(f"{key}: present in baseline but not measured")
+            continue
+        if reference:
+            ratio = (current / current_cal) / (reference / reference_cal)
+        else:
+            ratio = float("inf")
+        status = "ok" if ratio <= TOLERANCE else "REGRESSION"
+        print(f"{key}: {current} ms vs baseline {reference} ms "
+              f"({ratio:.2f}x normalised) {status}")
+        if ratio > TOLERANCE:
+            failures.append(f"{key}: {ratio:.2f}x slower than baseline (limit {TOLERANCE}x)")
+    for key in sorted(set(measured) - set(baseline)):
+        # A measurement without a baseline would otherwise be silently
+        # ungated (e.g. a criterion added to CRITERIA without --update).
+        failures.append(f"{key}: measured but missing from the baseline; run --update")
+    if failures:
+        print("\nchecker benchmark regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("checker hot path within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

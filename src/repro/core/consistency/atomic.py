@@ -17,22 +17,31 @@ from typing import Optional
 from ..history import History
 from ..operations import Operation
 from ..orders import Relation, full_program_order
-from ..serialization import SerializationProblem
-from .base import CheckResult, ConsistencyChecker, ReadFrom
+from .base import CheckResult, ConsistencyChecker, ReadFrom, run_global_check
 
 
 def real_time_order(history: History) -> Relation:
     """The real-time precedence relation derived from operation timestamps.
 
     ``o1 -> o2`` when ``o1.completed_at < o2.invoked_at`` (both present).
+    Operations are bucketed by timestamp so the quadratic pair scan only
+    visits pairs that can actually be related.
     """
     rel = Relation(history.operations, "real-time")
-    timed = [op for op in history.operations if op.completed_at is not None]
+    timed = sorted(
+        (op for op in history.operations if op.completed_at is not None),
+        key=lambda op: op.completed_at,
+    )
+    invoked = sorted(
+        (op for op in history.operations if op.invoked_at is not None),
+        key=lambda op: op.invoked_at,
+        reverse=True,
+    )
     for o1 in timed:
-        for o2 in history.operations:
-            if o2.invoked_at is None or o1 is o2:
-                continue
-            if o1.completed_at < o2.invoked_at:
+        for o2 in invoked:  # latest invocation first: stop at the first miss
+            if o1.completed_at >= o2.invoked_at:
+                break
+            if o1 is not o2:
                 rel.add(o1, o2)
     return rel
 
@@ -50,22 +59,11 @@ class AtomicChecker(ConsistencyChecker):
     ) -> CheckResult:
         rf = history.read_from() if read_from is None else read_from
         relation = full_program_order(history).union(real_time_order(history), name="atomic")
-        problem = SerializationProblem(history.operations, relation, rf)
-        result = CheckResult(criterion=self.name, consistent=True, exact=exact)
-        violations = problem.quick_violations()
-        if violations:
-            result.consistent = False
-            result.exact = True
-            result.violations.extend(violations)
-            return result
-        if not exact:
-            return result
-        witness = problem.solve()
-        if witness is None:
-            result.consistent = False
-            result.violations.append(
-                "no legal global serialization respects program order and real time"
-            )
-        else:
-            result.serializations[-1] = witness
-        return result
+        return run_global_check(
+            self.name,
+            history,
+            relation,
+            rf,
+            exact,
+            "no legal global serialization respects program order and real time",
+        )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ...exceptions import ConsistencyCheckError
 from ..history import History
@@ -33,6 +33,28 @@ from ..orders import Relation
 from ..serialization import SerializationProblem
 
 ReadFrom = Mapping[Operation, Optional[Operation]]
+
+#: One per-process unit of work: ``(pid, view ops, relation, read_from, exact)``.
+ViewTask = Tuple[int, Tuple[Operation, ...], Relation, ReadFrom, bool]
+
+
+def check_view(task: ViewTask) -> Tuple[int, List[str], Optional[List[Operation]]]:
+    """Check one per-process view; the unit fanned out over worker pools.
+
+    Returns ``(pid, violations, witness)``.  The polynomial bad-pattern
+    pre-check always runs first (whatever the view size); when it finds
+    nothing and ``exact`` is set, the exact backtracking search decides the
+    view.  A module-level function so that ``multiprocessing`` pools can
+    pickle it.
+    """
+    pid, view, relation, read_from, exact = task
+    problem = SerializationProblem(view, relation, read_from)
+    violations = problem.quick_violations()
+    if violations:
+        return pid, violations, None
+    if not exact:
+        return pid, [], None
+    return pid, [], problem.solve()
 
 
 @dataclass
@@ -45,7 +67,8 @@ class CheckResult:
         Name of the criterion checked (``"causal"``, ``"pram"``, ...).
     consistent:
         The verdict.  When ``exact`` is ``False`` a ``True`` verdict only
-        means *no violation was found by the polynomial pre-check*.
+        means *no violation was found by the polynomial pre-check* — which
+        runs at every view size; a ``False`` verdict is always a proof.
     exact:
         Whether the verdict was established by the exact search.
     serializations:
@@ -122,8 +145,10 @@ class ConsistencyChecker(abc.ABC):
             omitted (requires a differentiated history).
         exact:
             When ``True`` (default) run the exact backtracking search; when
-            ``False`` only run the polynomial bad-pattern pre-check, which can
-            prove inconsistency but not consistency.
+            ``False`` only run the polynomial bad-pattern pre-check, which
+            can prove inconsistency but not consistency.  The pre-check runs
+            at *every* view size (historically views above an internal limit
+            skipped it, silently turning ``exact=False`` checks into no-ops).
         """
 
     def is_consistent(self, history: History, **kwargs: object) -> bool:
@@ -144,12 +169,13 @@ class PerProcessChecker(ConsistencyChecker):
         serializations must respect (e.g. :func:`repro.core.orders.causal_order`).
     name:
         Criterion name.
-    """
 
-    #: Views larger than this skip the polynomial pre-check (it materialises a
-    #: transitive closure, which is wasteful on the large-but-satisfiable
-    #: histories recorded from protocol runs) and go straight to the search.
-    quick_check_limit: int = 300
+    The polynomial bad-pattern pre-check runs on every per-process view,
+    whatever its size (it needs only the lazily cached bitset reachability of
+    the restricted relation, so there is no longer a size above which it
+    would be skipped).  A ``False`` verdict is therefore always an exact
+    proof, even under ``exact=False``.
+    """
 
     def __init__(
         self,
@@ -168,24 +194,34 @@ class PerProcessChecker(ConsistencyChecker):
         history: History,
         read_from: Optional[ReadFrom] = None,
         exact: bool = True,
+        pool: Optional[Any] = None,
     ) -> CheckResult:
+        """Check every per-process view of ``history``.
+
+        When ``pool`` (anything with a ``map`` method, e.g. a
+        ``multiprocessing.Pool``) is given and the history has more than one
+        process, the per-process serialization searches are fanned out over
+        it — the views are independent, so any split is sound.
+        """
         rf = history.read_from() if read_from is None else read_from
         relation = self._builder(history, rf)
         result = CheckResult(criterion=self.name, consistent=True, exact=exact)
-        for pid in history.processes:
-            view = history.sub_history_plus_writes(pid)
-            problem = SerializationProblem(view, relation, rf)
-            if len(view) <= self.quick_check_limit:
-                violations = problem.quick_violations()
-                if violations:
-                    result.consistent = False
-                    result.exact = True
-                    result.violations.extend(f"p{pid}: {v}" for v in violations)
-                    continue
-            if not exact:
+        tasks: List[ViewTask] = [
+            (pid, history.sub_history_plus_writes(pid), relation, rf, exact)
+            for pid in history.processes
+        ]
+        if pool is not None and len(tasks) > 1:
+            outcomes = pool.map(check_view, tasks)
+        else:
+            outcomes = [check_view(task) for task in tasks]
+        for pid, violations, witness in outcomes:
+            if violations:
+                result.consistent = False
+                result.exact = True
+                result.violations.extend(f"p{pid}: {v}" for v in violations)
+            elif not exact:
                 continue
-            witness = problem.solve()
-            if witness is None:
+            elif witness is None:
                 result.consistent = False
                 result.violations.append(
                     f"p{pid}: no legal serialization of H_{{{pid}+w}} respects {relation.name}"
@@ -193,6 +229,40 @@ class PerProcessChecker(ConsistencyChecker):
             else:
                 result.serializations[pid] = witness
         return result
+
+
+def run_global_check(
+    name: str,
+    history: History,
+    relation: Relation,
+    read_from: ReadFrom,
+    exact: bool,
+    failure_message: str,
+) -> CheckResult:
+    """Shared body of the single-witness criteria (sequential, atomic).
+
+    One legal serialization of the *whole* history must respect ``relation``;
+    the polynomial pre-check always runs first (fast exact rejection), then
+    the exact search unless ``exact`` is ``False``.  The witness, when found,
+    is recorded under key ``-1``.
+    """
+    problem = SerializationProblem(history.operations, relation, read_from)
+    result = CheckResult(criterion=name, consistent=True, exact=exact)
+    violations = problem.quick_violations()
+    if violations:
+        result.consistent = False
+        result.exact = True
+        result.violations.extend(violations)
+        return result
+    if not exact:
+        return result
+    witness = problem.solve()
+    if witness is None:
+        result.consistent = False
+        result.violations.append(failure_message)
+    else:
+        result.serializations[-1] = witness
+    return result
 
 
 def require_differentiated(history: History) -> None:

@@ -14,8 +14,7 @@ from typing import Optional
 
 from ..history import History
 from ..orders import full_program_order
-from ..serialization import SerializationProblem
-from .base import CheckResult, ConsistencyChecker, ReadFrom
+from .base import CheckResult, ConsistencyChecker, ReadFrom, run_global_check
 
 
 class SequentialChecker(ConsistencyChecker):
@@ -30,21 +29,11 @@ class SequentialChecker(ConsistencyChecker):
         exact: bool = True,
     ) -> CheckResult:
         rf = history.read_from() if read_from is None else read_from
-        relation = full_program_order(history)
-        problem = SerializationProblem(history.operations, relation, rf)
-        result = CheckResult(criterion=self.name, consistent=True, exact=exact)
-        violations = problem.quick_violations()
-        if violations:
-            result.consistent = False
-            result.exact = True
-            result.violations.extend(violations)
-            return result
-        if not exact:
-            return result
-        witness = problem.solve()
-        if witness is None:
-            result.consistent = False
-            result.violations.append("no legal global serialization respects program order")
-        else:
-            result.serializations[-1] = witness
-        return result
+        return run_global_check(
+            self.name,
+            history,
+            full_program_order(history),
+            rf,
+            exact,
+            "no legal global serialization respects program order",
+        )

@@ -14,7 +14,7 @@ paper histories almost verbatim.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..exceptions import AmbiguousReadFromError, InvalidHistoryError
 from .operations import BOTTOM, Operation, OpKind
@@ -89,6 +89,26 @@ class History:
         uids = {op.uid for op in self._ops}
         if len(uids) != len(self._ops):
             raise InvalidHistoryError("duplicate operation objects in history")
+        # Histories are immutable once built, and the checkers hit the derived
+        # views once per process per check: precompute membership and the
+        # per-variable partitions, and memoise the per-process views lazily.
+        self._ops_set: FrozenSet[Operation] = frozenset(self._ops)
+        self._writes: Tuple[Operation, ...] = tuple(op for op in self._ops if op.is_write)
+        self._reads: Tuple[Operation, ...] = tuple(op for op in self._ops if op.is_read)
+        by_variable: Dict[str, List[Operation]] = {}
+        writes_by_variable: Dict[str, List[Operation]] = {}
+        for op in self._ops:
+            by_variable.setdefault(op.variable, []).append(op)
+            if op.is_write:
+                writes_by_variable.setdefault(op.variable, []).append(op)
+        self._by_variable: Dict[str, Tuple[Operation, ...]] = {
+            var: tuple(ops) for var, ops in by_variable.items()
+        }
+        self._writes_by_variable: Dict[str, Tuple[Operation, ...]] = {
+            var: tuple(ops) for var, ops in writes_by_variable.items()
+        }
+        self._views: Dict[int, Tuple[Operation, ...]] = {}
+        self._read_from: Optional[Dict[Operation, Optional[Operation]]] = None
 
     # -- basic accessors -----------------------------------------------------
     @property
@@ -104,7 +124,7 @@ class History:
             raise InvalidHistoryError(f"no local history for process {process}") from exc
 
     def __contains__(self, op: Operation) -> bool:
-        return op in set(self._ops)
+        return op in self._ops_set
 
     def __len__(self) -> int:
         return len(self._ops)
@@ -117,30 +137,38 @@ class History:
     @property
     def writes(self) -> Tuple[Operation, ...]:
         """All write operations of the history."""
-        return tuple(op for op in self._ops if op.is_write)
+        return self._writes
 
     @property
     def reads(self) -> Tuple[Operation, ...]:
         """All read operations of the history."""
-        return tuple(op for op in self._ops if op.is_read)
+        return self._reads
 
     @property
     def variables(self) -> Tuple[str, ...]:
         """Sorted tuple of the shared variables accessed in the history."""
-        return tuple(sorted({op.variable for op in self._ops}))
+        return tuple(sorted(self._by_variable))
 
     def operations_on(self, variable: str) -> Tuple[Operation, ...]:
         """Every operation accessing ``variable``."""
-        return tuple(op for op in self._ops if op.variable == variable)
+        return self._by_variable.get(variable, ())
 
     def writes_on(self, variable: str) -> Tuple[Operation, ...]:
         """Every write operation on ``variable``."""
-        return tuple(op for op in self._ops if op.is_write and op.variable == variable)
+        return self._writes_by_variable.get(variable, ())
 
     def sub_history_plus_writes(self, process: int) -> Tuple[Operation, ...]:
-        """``H_{i+w}``: all operations of ``process`` plus every write of ``H``."""
-        own = set(self.local(process).operations)
-        return tuple(op for op in self._ops if op in own or op.is_write)
+        """``H_{i+w}``: all operations of ``process`` plus every write of ``H``.
+
+        Memoised per process (the checkers request the same view once per
+        criterion per check).
+        """
+        cached = self._views.get(process)
+        if cached is None:
+            own = set(self.local(process).operations)
+            cached = tuple(op for op in self._ops if op in own or op.is_write)
+            self._views[process] = cached
+        return cached
 
     def accessed_variables(self, process: int) -> Set[str]:
         """Variables read or written by ``process`` in this history."""
@@ -165,7 +193,12 @@ class History:
         :class:`AmbiguousReadFromError` when the history is not differentiated
         for a value that is actually read, and :class:`InvalidHistoryError`
         when a read returns a value never written.
+
+        The inferred mapping is cached (histories are immutable); callers get
+        a fresh dict copy so mutating it cannot corrupt the cache.
         """
+        if self._read_from is not None:
+            return dict(self._read_from)
         writers: Dict[Tuple[str, Any], List[Operation]] = {}
         for op in self.writes:
             writers.setdefault((op.variable, op.value), []).append(op)
@@ -186,7 +219,8 @@ class History:
                     "provide an explicit read-from mapping"
                 )
             mapping[op] = candidates[0]
-        return mapping
+        self._read_from = mapping
+        return dict(mapping)
 
     # -- misc ------------------------------------------------------------------
     def restrict(self, ops: Iterable[Operation]) -> Tuple[Operation, ...]:

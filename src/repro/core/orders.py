@@ -17,10 +17,13 @@ The paper reasons about several binary relations on ``O_H``:
 
 All relations are represented by the explicit :class:`Relation` class: a set
 of directed edges over operation objects, with helpers for transitive closure,
-acyclicity, restriction and path queries.  Relations are deliberately kept as
-plain adjacency sets — histories in this library are small compared to the
-simulated workloads, and explicitness makes the checkers easy to audit against
-the paper's definitions.
+acyclicity, restriction and path queries.  Internally each operation is
+indexed once into the universe and every adjacency (and the lazily computed
+reachability) is a single Python integer used as a bitmask, so the set
+algebra the checkers lean on — closure, restriction, union, reachability —
+runs as machine-word bit operations instead of per-edge dict/set traffic.
+The public API still speaks :class:`~repro.core.operations.Operation`
+objects, keeping the checkers easy to audit against the paper's definitions.
 """
 
 from __future__ import annotations
@@ -31,29 +34,46 @@ from .history import History
 from .operations import Operation
 
 
+def _iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask`` (ascending)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
 class Relation:
     """A binary relation over a fixed universe of operations.
 
     The relation is *not* implicitly transitive nor reflexive; use
-    :meth:`transitive_closure` when a partial order is needed.
+    :meth:`transitive_closure` when a partial order is needed.  Reachability
+    over the direct edges is computed lazily (once, via strongly connected
+    components) and cached on the instance; mutating the relation with
+    :meth:`add` invalidates the cache.
     """
 
     def __init__(self, universe: Iterable[Operation], name: str = "relation"):
         self._universe: Tuple[Operation, ...] = tuple(universe)
         self._index: Dict[Operation, int] = {op: i for i, op in enumerate(self._universe)}
-        self._succ: Dict[Operation, Set[Operation]] = {op: set() for op in self._universe}
-        self._pred: Dict[Operation, Set[Operation]] = {op: set() for op in self._universe}
+        n = len(self._universe)
+        self._succ: List[int] = [0] * n
+        self._pred: List[int] = [0] * n
+        self._reach: Optional[List[int]] = None
         self.name = name
 
     # -- construction -------------------------------------------------------
     def add(self, first: Operation, second: Operation) -> None:
         """Add the pair ``first -> second`` to the relation."""
-        if first not in self._succ or second not in self._succ:
+        i = self._index.get(first)
+        j = self._index.get(second)
+        if i is None or j is None:
             raise KeyError("both operations must belong to the relation's universe")
-        if first == second:
+        if i == j:
             return
-        self._succ[first].add(second)
-        self._pred[second].add(first)
+        if not (self._succ[i] >> j) & 1:
+            self._succ[i] |= 1 << j
+            self._pred[j] |= 1 << i
+            self._reach = None
 
     def add_edges(self, edges: Iterable[Tuple[Operation, Operation]]) -> None:
         """Add every pair of ``edges`` to the relation."""
@@ -68,31 +88,31 @@ class Relation:
 
     def successors(self, op: Operation) -> FrozenSet[Operation]:
         """Direct successors of ``op``."""
-        return frozenset(self._succ[op])
+        return frozenset(self._universe[j] for j in _iter_bits(self._succ[self._index[op]]))
 
     def predecessors(self, op: Operation) -> FrozenSet[Operation]:
         """Direct predecessors of ``op``."""
-        return frozenset(self._pred[op])
+        return frozenset(self._universe[j] for j in _iter_bits(self._pred[self._index[op]]))
 
     def precedes(self, first: Operation, second: Operation) -> bool:
         """``True`` iff the pair ``first -> second`` belongs to the relation."""
-        return second in self._succ.get(first, ())
+        i = self._index.get(first)
+        j = self._index.get(second)
+        if i is None or j is None:
+            return False
+        return bool((self._succ[i] >> j) & 1)
 
     def reachable(self, first: Operation, second: Operation) -> bool:
-        """``True`` iff ``second`` is reachable from ``first`` following edges."""
-        if first not in self._succ or second not in self._succ:
+        """``True`` iff ``second`` is reachable from ``first`` following edges.
+
+        The first call computes the full reachability of the relation (cached
+        until the next :meth:`add`); subsequent calls are O(1) bit probes.
+        """
+        i = self._index.get(first)
+        j = self._index.get(second)
+        if i is None or j is None:
             return False
-        stack = [first]
-        seen: Set[Operation] = set()
-        while stack:
-            cur = stack.pop()
-            for nxt in self._succ[cur]:
-                if nxt == second:
-                    return True
-                if nxt not in seen:
-                    seen.add(nxt)
-                    stack.append(nxt)
-        return False
+        return bool((self._reachability()[i] >> j) & 1)
 
     def concurrent(self, first: Operation, second: Operation) -> bool:
         """``True`` iff neither operation reaches the other (paper: ``o1 || o2``)."""
@@ -100,13 +120,14 @@ class Relation:
 
     def edges(self) -> Iterator[Tuple[Operation, Operation]]:
         """Iterate over every pair of the relation."""
-        for op, succs in self._succ.items():
-            for nxt in succs:
-                yield op, nxt
+        for i, mask in enumerate(self._succ):
+            op = self._universe[i]
+            for j in _iter_bits(mask):
+                yield op, self._universe[j]
 
     def edge_count(self) -> int:
         """Number of pairs in the relation."""
-        return sum(len(s) for s in self._succ.values())
+        return sum(mask.bit_count() for mask in self._succ)
 
     def is_acyclic(self) -> bool:
         """``True`` iff the relation (viewed as a digraph) has no cycle."""
@@ -114,19 +135,20 @@ class Relation:
 
     def topological_order(self) -> Optional[List[Operation]]:
         """A topological order of the universe, or ``None`` if the relation is cyclic."""
-        indegree = {op: len(self._pred[op]) for op in self._universe}
-        ready = [op for op in self._universe if indegree[op] == 0]
-        order: List[Operation] = []
+        n = len(self._universe)
+        indegree = [mask.bit_count() for mask in self._pred]
+        ready = [i for i in range(n) if indegree[i] == 0]
+        order: List[int] = []
         while ready:
-            op = ready.pop()
-            order.append(op)
-            for nxt in self._succ[op]:
-                indegree[nxt] -= 1
-                if indegree[nxt] == 0:
-                    ready.append(nxt)
-        if len(order) != len(self._universe):
+            i = ready.pop()
+            order.append(i)
+            for j in _iter_bits(self._succ[i]):
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    ready.append(j)
+        if len(order) != n:
             return None
-        return order
+        return [self._universe[i] for i in order]
 
     def find_path(self, first: Operation, second: Operation) -> Optional[List[Operation]]:
         """A path ``first -> ... -> second`` following edges, or ``None``.
@@ -134,25 +156,25 @@ class Relation:
         Paths are found breadth-first, so the returned path has a minimal
         number of hops; used to exhibit dependency chains (Definition 4).
         """
-        if first not in self._succ or second not in self._succ:
+        start = self._index.get(first)
+        goal = self._index.get(second)
+        if start is None or goal is None:
             return None
-        parents: Dict[Operation, Operation] = {}
-        frontier: List[Operation] = [first]
-        seen: Set[Operation] = {first}
+        parents: Dict[int, int] = {}
+        frontier: List[int] = [start]
+        seen = 1 << start
         while frontier:
-            nxt_frontier: List[Operation] = []
+            nxt_frontier: List[int] = []
             for cur in frontier:
-                for nxt in self._succ[cur]:
-                    if nxt in seen:
-                        continue
+                for nxt in _iter_bits(self._succ[cur] & ~seen):
                     parents[nxt] = cur
-                    if nxt == second:
-                        path = [second]
-                        while path[-1] != first:
+                    if nxt == goal:
+                        path = [goal]
+                        while path[-1] != start:
                             path.append(parents[path[-1]])
                         path.reverse()
-                        return path
-                    seen.add(nxt)
+                        return [self._universe[i] for i in path]
+                    seen |= 1 << nxt
                     nxt_frontier.append(nxt)
             frontier = nxt_frontier
         return None
@@ -171,7 +193,7 @@ class Relation:
         dependency-chain analysis, which needs to distinguish derivations that
         stay inside a variable's clique from derivations that leave it.
         """
-        if first not in self._succ or second not in self._succ:
+        if first not in self._index or second not in self._index:
             return []
         results: List[List[Operation]] = []
 
@@ -183,7 +205,7 @@ class Relation:
             if cur == second and len(path) > 1:
                 results.append(list(path))
                 return
-            for nxt in sorted(self._succ[cur], key=lambda o: o.uid):
+            for nxt in sorted(self.successors(cur), key=lambda o: o.uid):
                 if nxt in seen:
                     continue
                 if nxt == second:
@@ -201,39 +223,124 @@ class Relation:
         return results
 
     # -- derivation ---------------------------------------------------------
+    def _reachability(self) -> List[int]:
+        """Per-operation reachability bitmasks (computed once, cached).
+
+        Strongly connected components are found with an iterative Tarjan
+        pass; Tarjan emits components in reverse topological order, so one
+        sweep over the emitted components propagates reachability through the
+        condensation with pure bitmask unions.  Cyclic components reach every
+        one of their own members (including themselves); acyclic singletons do
+        not reach themselves, matching the edge-following semantics the dict
+        implementation had.
+        """
+        if self._reach is not None:
+            return self._reach
+        n = len(self._universe)
+        succ = self._succ
+        index_of = [-1] * n
+        low = [0] * n
+        on_stack = bytearray(n)
+        stack: List[int] = []
+        comp_of = [-1] * n
+        comp_members: List[List[int]] = []
+        counter = 0
+        for start in range(n):
+            if index_of[start] != -1:
+                continue
+            index_of[start] = low[start] = counter
+            counter += 1
+            stack.append(start)
+            on_stack[start] = 1
+            frames: List[List[int]] = [[start, succ[start]]]
+            while frames:
+                node, remaining = frames[-1]
+                if remaining:
+                    bit = remaining & -remaining
+                    frames[-1][1] ^= bit
+                    nxt = bit.bit_length() - 1
+                    if index_of[nxt] == -1:
+                        index_of[nxt] = low[nxt] = counter
+                        counter += 1
+                        stack.append(nxt)
+                        on_stack[nxt] = 1
+                        frames.append([nxt, succ[nxt]])
+                    elif on_stack[nxt] and index_of[nxt] < low[node]:
+                        low[node] = index_of[nxt]
+                else:
+                    frames.pop()
+                    if frames and low[node] < low[frames[-1][0]]:
+                        low[frames[-1][0]] = low[node]
+                    if low[node] == index_of[node]:
+                        members: List[int] = []
+                        while True:
+                            member = stack.pop()
+                            on_stack[member] = 0
+                            comp_of[member] = len(comp_members)
+                            members.append(member)
+                            if member == node:
+                                break
+                        comp_members.append(members)
+        comp_mask: List[int] = []
+        comp_reach: List[int] = []
+        for members in comp_members:
+            mask = 0
+            for member in members:
+                mask |= 1 << member
+            reach = 0
+            for member in members:
+                for nxt in _iter_bits(succ[member] & ~mask):
+                    target = comp_of[nxt]
+                    reach |= comp_mask[target] | comp_reach[target]
+            if len(members) > 1:  # self-loops are impossible (add() drops them)
+                reach |= mask
+            comp_mask.append(mask)
+            comp_reach.append(reach)
+        self._reach = [comp_reach[comp_of[i]] for i in range(n)]
+        return self._reach
+
     def transitive_closure(self, name: Optional[str] = None) -> "Relation":
         """Return a new relation equal to the transitive closure of this one."""
         closed = Relation(self._universe, name or f"{self.name}+")
-        for op in self._universe:
-            stack = list(self._succ[op])
-            seen: Set[Operation] = set()
-            while stack:
-                cur = stack.pop()
-                if cur in seen:
-                    continue
-                seen.add(cur)
-                stack.extend(self._succ[cur])
-            for reach in seen:
-                closed.add(op, reach)
+        reach = self._reachability()
+        closed._succ = list(reach)
+        for i, mask in enumerate(reach):
+            bit = 1 << i
+            for j in _iter_bits(mask):
+                closed._pred[j] |= bit
+        # A closure is transitive by construction: its direct edges *are* its
+        # reachability, so the cache is seeded for free.
+        closed._reach = closed._succ
         return closed
 
     def union(self, other: "Relation", name: Optional[str] = None) -> "Relation":
         """Union of two relations defined over the same universe."""
         merged = Relation(self._universe, name or f"{self.name}∪{other.name}")
-        merged.add_edges(self.edges())
-        for a, b in other.edges():
-            if a in merged._succ and b in merged._succ:
-                merged.add(a, b)
+        if other._universe == self._universe:
+            merged._succ = [a | b for a, b in zip(self._succ, other._succ)]
+            merged._pred = [a | b for a, b in zip(self._pred, other._pred)]
+        else:
+            merged.add_edges(self.edges())
+            for a, b in other.edges():
+                if a in merged._index and b in merged._index:
+                    merged.add(a, b)
         return merged
 
     def restricted_to(self, ops: Iterable[Operation], name: Optional[str] = None) -> "Relation":
         """The relation restricted to the given subset of operations."""
-        keep = [op for op in self._universe if op in set(ops)]
+        requested = set(ops)
+        keep = [op for op in self._universe if op in requested]
         sub = Relation(keep, name or f"{self.name}|")
-        keep_set = set(keep)
-        for a, b in self.edges():
-            if a in keep_set and b in keep_set:
-                sub.add(a, b)
+        old_indices = [self._index[op] for op in keep]
+        keep_mask = 0
+        for old in old_indices:
+            keep_mask |= 1 << old
+        new_of_old = {old: new for new, old in enumerate(old_indices)}
+        for new, old in enumerate(old_indices):
+            for tgt in _iter_bits(self._succ[old] & keep_mask):
+                j = new_of_old[tgt]
+                sub._succ[new] |= 1 << j
+                sub._pred[j] |= 1 << new
         return sub
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -83,11 +83,12 @@ class SerializationProblem:
 
     def __post_init__(self) -> None:
         self.ops = tuple(self.ops)
-        ops_set = set(self.ops)
+        # The relation restricted to the view is needed by every stage (quick
+        # check, greedy fast path, final verification), so build it once.
+        self._restricted = self.relation.restricted_to(self.ops)
         self._preds: Dict[Operation, Set[Operation]] = {op: set() for op in self.ops}
-        for a, b in self.relation.edges():
-            if a in ops_set and b in ops_set:
-                self._preds[b].add(a)
+        for a, b in self._restricted.edges():
+            self._preds[b].add(a)
 
     # -- quick, polynomial necessary conditions ------------------------------
     def quick_violations(self) -> List[str]:
@@ -97,13 +98,18 @@ class SerializationProblem:
         descriptions.  A non-empty result proves that no legal serialization
         respecting the relation exists; an empty result is inconclusive (use
         :meth:`solve`).
+
+        Acyclicity is decided first (linear), and the forced-before queries
+        run off the restricted relation's lazily cached bitset reachability —
+        no transitive closure is ever materialised, which keeps this check
+        cheap enough to run at every view size.
         """
         violations: List[str] = []
-        restricted = self.relation.restricted_to(self.ops)
-        closed = restricted.transitive_closure()
+        restricted = self._restricted
         if not restricted.is_acyclic():
             violations.append("constraint relation is cyclic on the view")
             return violations
+        forced_before = restricted.reachable
 
         ops_set = set(self.ops)
         writes_by_var: Dict[str, List[Operation]] = {}
@@ -119,7 +125,7 @@ class SerializationProblem:
                 # read of the initial value: no write on the variable may be
                 # forced before the read.
                 for w in writes_by_var.get(read.variable, []):
-                    if closed.precedes(w, read):
+                    if forced_before(w, read):
                         violations.append(
                             f"{read.label()} returns ⊥ but {w.label()} precedes it"
                         )
@@ -129,14 +135,14 @@ class SerializationProblem:
                         f"{read.label()} reads from {writer.label()} which is not in the view"
                     )
                     continue
-                if closed.precedes(read, writer):
+                if forced_before(read, writer):
                     violations.append(
                         f"{read.label()} is constrained to precede its writer {writer.label()}"
                     )
                 for w in writes_by_var.get(read.variable, []):
                     if w == writer:
                         continue
-                    if closed.precedes(writer, w) and closed.precedes(w, read):
+                    if forced_before(writer, w) and forced_before(w, read):
                         violations.append(
                             f"{w.label()} is forced between {writer.label()} and {read.label()}"
                         )
@@ -157,7 +163,7 @@ class SerializationProblem:
         """
         reads = [op for op in self.ops if op.is_read]
         if not reads:
-            ordering = self.relation.restricted_to(self.ops).topological_order()
+            ordering = self._restricted.topological_order()
             if ordering is None:
                 return None
             return ordering if is_legal_serialization(ordering) else None
@@ -213,8 +219,7 @@ class SerializationProblem:
             return None
         if not is_legal_serialization(scheduled):
             return None
-        restricted = self.relation.restricted_to(self.ops)
-        if not respects(scheduled, restricted):
+        if not respects(scheduled, self._restricted):
             return None
         return scheduled
 

@@ -26,6 +26,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..core.consistency import get_checker
+from ..core.consistency.base import PerProcessChecker
 from ..mcs.metrics import relevance_violations
 from ..mcs.system import PROTOCOL_CRITERION, MCSystem
 from ..workloads.access_patterns import run_script
@@ -112,8 +113,14 @@ class SuiteResult:
         return [r for r in self.records if r.consistent is False]
 
 
-def run_point(point: ScenarioPoint) -> ScenarioRecord:
-    """Execute one scenario point end-to-end and build its record."""
+def run_point(point: ScenarioPoint, pool: Optional[Any] = None) -> ScenarioRecord:
+    """Execute one scenario point end-to-end and build its record.
+
+    ``pool`` (a ``multiprocessing.Pool`` or compatible) is forwarded to
+    per-process consistency checkers so the independent per-process
+    serialization searches of one check fan out over the workers; it is only
+    passed when :func:`run_suite` executes points in the parent process.
+    """
     started = time.perf_counter()
     distribution = point.distribution.build(seed=point.seed)
     script = point.workload.build(distribution, seed=point.seed)
@@ -125,8 +132,12 @@ def run_point(point: ScenarioPoint) -> ScenarioRecord:
     exact = point.exact
     if point.check_consistency:
         history = system.history()
-        result = get_checker(criterion).check(
-            history, read_from=system.read_from(), exact=point.exact
+        checker = get_checker(criterion)
+        kwargs: Dict[str, Any] = {}
+        if pool is not None and isinstance(checker, PerProcessChecker):
+            kwargs["pool"] = pool
+        result = checker.check(
+            history, read_from=system.read_from(), exact=point.exact, **kwargs
         )
         consistent = result.consistent
         exact = result.exact
@@ -175,6 +186,9 @@ def run_suite(
     workers:
         When > 1, cache misses are executed in a ``multiprocessing`` pool of
         that size (scenario points are independent, so any split is sound).
+        A single pending point runs in the parent process instead, with the
+        pool used *inside* its consistency check (one per-process
+        serialization search per worker).
     progress:
         Optional ``callable(str)`` invoked with a one-line status per point.
     """
@@ -202,7 +216,13 @@ def run_suite(
             pending.append(point)
     if pending and workers > 1:
         with multiprocessing.Pool(processes=workers) as pool:
-            fresh = pool.map(run_point, pending, chunksize=1)
+            if len(pending) > 1:
+                fresh = pool.map(run_point, pending, chunksize=1)
+            else:
+                # A single pending point cannot use point-level parallelism;
+                # run it in the parent and fan its check's per-process
+                # serialization searches over the pool instead.
+                fresh = [run_point(pending[0], pool=pool)]
     else:
         fresh = [run_point(point) for point in pending]
     for point, record in zip(pending, fresh):

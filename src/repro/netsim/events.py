@@ -25,41 +25,75 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _on_cancel: Optional[Callable[[], None]] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
 
 
 class EventQueue:
-    """A time-ordered queue of :class:`Event` objects."""
+    """A time-ordered queue of :class:`Event` objects.
+
+    Cancelled events are tracked with a live counter (``len`` is O(1), it
+    used to scan the whole heap) and the heap is compacted as soon as the
+    cancelled entries outnumber the live ones, so long runs with many
+    cancellations (timeouts, retransmission timers) no longer leak memory.
+    """
+
+    #: Compaction only kicks in beyond this many cancelled entries — below it
+    #: the lazy skip in :meth:`pop` is cheaper than rebuilding the heap.
+    _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        self._cancelled = 0  # cancelled events still sitting in the heap
 
     def push(self, time: float, callback: Callable[[], None], priority: int = 0) -> Event:
         """Schedule ``callback`` at ``time``; lower ``priority`` runs first on ties."""
         event = Event(time, priority, next(self._counter), callback)
+        event._on_cancel = self._note_cancel
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if self._cancelled > self._COMPACT_MIN and self._cancelled * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the remainder."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or ``None`` when empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            # The event has left the queue; a later cancel() must not touch
+            # the queue's accounting.
+            event._on_cancel = None
+            return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None``."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         return self._heap[0].time if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return len(self._heap) > self._cancelled

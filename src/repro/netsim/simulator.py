@@ -75,7 +75,9 @@ class Simulator:
         ----------
         until:
             Stop (without executing) at the first event strictly later than
-            this virtual time.
+            this virtual time.  The clock is advanced to ``until`` whether
+            the run stops on a later event or because the queue drained, so
+            ``sim.now`` reflects the requested horizon either way.
         max_events:
             Budget of events for this call; a :class:`SimulationError` is
             raised when it is exhausted while events remain (a guard against
@@ -85,6 +87,8 @@ class Simulator:
         while True:
             next_time = self._queue.peek_time()
             if next_time is None:
+                if until is not None and until > self._now:
+                    self._now = until
                 return processed
             if until is not None and next_time > until:
                 self._now = until

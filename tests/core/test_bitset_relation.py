@@ -1,0 +1,143 @@
+"""Property tests: the bitset Relation must match a dict-of-sets reference.
+
+The seed implementation of :class:`repro.core.orders.Relation` kept plain
+adjacency sets; it was replaced by integer bitmasks with lazily cached
+reachability.  These tests rebuild the old representation as a small oracle
+and check, on randomly generated relations over random histories, that every
+query of the new implementation agrees with it — including on cyclic inputs,
+where transitive closure and reachability are the easiest to get wrong.
+"""
+
+import random
+
+import pytest
+
+from repro.core.orders import (
+    Relation,
+    causal_order,
+    full_program_order,
+    lazy_causal_order,
+    pram_generating_order,
+    slow_relation,
+)
+from repro.workloads.random_history import random_history
+
+
+class DictRelationOracle:
+    """The seed dict-of-sets semantics, kept minimal on purpose."""
+
+    def __init__(self, universe, edges=()):
+        self.universe = tuple(universe)
+        self.succ = {op: set() for op in self.universe}
+        for a, b in edges:
+            if a != b:
+                self.succ[a].add(b)
+
+    def reachable_set(self, op):
+        stack = list(self.succ[op])
+        seen = set()
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self.succ[cur])
+        return seen
+
+    def closure_edges(self):
+        return {(a, b) for a in self.universe for b in self.reachable_set(a)}
+
+    def is_acyclic(self):
+        return all(op not in self.reachable_set(op) for op in self.universe)
+
+
+def random_relation(history, rng, density=0.15):
+    """A random (frequently cyclic) relation plus its oracle twin."""
+    ops = history.operations
+    rel = Relation(ops, "random")
+    edges = []
+    for a in ops:
+        for b in ops:
+            if a != b and rng.random() < density:
+                edges.append((a, b))
+    rel.add_edges(edges)
+    return rel, DictRelationOracle(ops, edges)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_relations_match_dict_oracle(seed):
+    rng = random.Random(seed)
+    history = random_history(processes=3, variables=3, operations=14, seed=seed)
+    rel, oracle = random_relation(history, rng)
+    ops = history.operations
+
+    assert rel.is_acyclic() == oracle.is_acyclic()
+    assert rel.edge_count() == sum(len(s) for s in oracle.succ.values())
+    for a in ops:
+        assert rel.successors(a) == frozenset(oracle.succ[a])
+        reach = oracle.reachable_set(a)
+        for b in ops:
+            assert rel.precedes(a, b) == (b in oracle.succ[a])
+            assert rel.reachable(a, b) == (b in reach), (a, b)
+
+    closed = rel.transitive_closure()
+    assert set(closed.edges()) == oracle.closure_edges()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_mutation_after_reachability_query_invalidates_cache(seed):
+    rng = random.Random(seed)
+    history = random_history(processes=3, variables=2, operations=10, seed=seed)
+    rel, oracle = random_relation(history, rng, density=0.1)
+    ops = history.operations
+    # Populate the lazy cache, then mutate and re-compare everything.
+    rel.reachable(ops[0], ops[-1])
+    extra = [(ops[-1], ops[0]), (ops[1], ops[-2])]
+    for a, b in extra:
+        rel.add(a, b)
+        oracle.succ[a].add(b)
+    for a in ops:
+        reach = oracle.reachable_set(a)
+        for b in ops:
+            assert rel.reachable(a, b) == (b in reach)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_restriction_and_union_match_dict_oracle(seed):
+    rng = random.Random(seed)
+    history = random_history(processes=3, variables=3, operations=12, seed=seed)
+    rel, oracle = random_relation(history, rng)
+    ops = history.operations
+
+    keep = [op for op in ops if rng.random() < 0.6]
+    sub = rel.restricted_to(keep)
+    keep_set = set(keep)
+    expected = {
+        (a, b) for a in keep_set for b in oracle.succ[a] if b in keep_set
+    }
+    assert set(sub.edges()) == expected
+    assert sub.universe == tuple(op for op in ops if op in keep_set)
+
+    other, other_oracle = random_relation(history, rng, density=0.1)
+    merged = rel.union(other)
+    expected_union = {
+        (a, b) for a in ops for b in oracle.succ[a] | other_oracle.succ[a]
+    }
+    assert set(merged.edges()) == expected_union
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize(
+    "builder",
+    [full_program_order, causal_order, lazy_causal_order, pram_generating_order, slow_relation],
+)
+def test_paper_relations_reachability_matches_oracle(builder, seed):
+    history = random_history(processes=3, variables=2, operations=12, seed=seed)
+    args = (history,) if builder is full_program_order else (history, history.read_from())
+    rel = builder(*args)
+    oracle = DictRelationOracle(history.operations, rel.edges())
+    for a in history.operations:
+        reach = oracle.reachable_set(a)
+        for b in history.operations:
+            assert rel.reachable(a, b) == (b in reach)
+    assert rel.is_acyclic() == oracle.is_acyclic()

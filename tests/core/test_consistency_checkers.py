@@ -48,6 +48,18 @@ def pram_violation_history():
     return b.build()
 
 
+def padded_pram_violation_history(padding=320):
+    """A PRAM/causal violation buried under enough writes that every view
+    exceeds 300 operations — the size above which the seed implementation
+    silently skipped the heuristic pre-check."""
+    b = HistoryBuilder()
+    b.write(1, "x", "a").write(1, "x", "b")
+    b.read(2, "x", "b").read(2, "x", "a")
+    for i in range(padding):
+        b.write(3, f"pad{i}", i)
+    return b.build()
+
+
 def concurrent_writes_history():
     """Two independent writers observed in different orders by different readers."""
     b = HistoryBuilder()
@@ -131,6 +143,45 @@ class TestBasicVerdicts:
     def test_heuristic_mode_still_detects_bad_patterns(self):
         h = pram_violation_history()
         assert not PRAMChecker().check(h, exact=False).consistent
+
+    def test_heuristic_mode_rejects_large_inconsistent_views(self):
+        # Regression for the silent no-op: views above 300 operations used to
+        # skip the pre-check entirely, so exact=False returned
+        # consistent=True for *any* history large enough.
+        h = padded_pram_violation_history()
+        assert all(
+            len(h.sub_history_plus_writes(pid)) > 300 for pid in h.processes
+        )
+        for checker in (PRAMChecker(), CausalChecker()):
+            result = checker.check(h, exact=False)
+            assert not result.consistent
+            assert result.exact  # a bad-pattern rejection is a proof
+            assert result.violations
+
+    def test_heuristic_mode_runs_precheck_on_large_consistent_views(self):
+        b = HistoryBuilder()
+        for i in range(310):
+            b.write(1, f"v{i}", i)
+        b.read(2, "v0", 0)
+        h = b.build()
+        result = PRAMChecker().check(h, exact=False)
+        assert result.consistent
+        assert not result.exact
+        assert not result.serializations
+
+    def test_per_process_checks_fan_out_over_a_pool(self):
+        import multiprocessing
+
+        consistent = writer_reader_history()
+        violating = padded_pram_violation_history(padding=16)
+        with multiprocessing.Pool(2) as pool:
+            for h in (consistent, violating):
+                serial = CausalChecker().check(h)
+                fanned = CausalChecker().check(h, pool=pool)
+                assert fanned.consistent == serial.consistent
+                assert fanned.exact == serial.exact
+                assert sorted(fanned.serializations) == sorted(serial.serializations)
+                assert fanned.violations == serial.violations
 
     def test_explicit_read_from_mapping(self):
         b = HistoryBuilder()

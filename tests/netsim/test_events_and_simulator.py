@@ -52,6 +52,50 @@ class TestEventQueue:
         q.push(1.0, lambda: None)
         assert q.peek_time() == 1.0
 
+    def test_len_tracks_cancellations_without_scanning(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(10)]
+        assert len(q) == 10
+        for event in events[::2]:
+            event.cancel()
+        assert len(q) == 5
+        assert bool(q)
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_accounting(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        popped = q.pop()
+        assert popped is event
+        event.cancel()  # already out of the queue: must not decrement
+        assert len(q) == 1
+        assert q.pop() is not None
+        assert q.pop() is None
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(1000)]
+        keep = events[::10]
+        for event in events:
+            if event not in keep:
+                event.cancel()
+        # The heap must have been compacted well below the 900 cancelled
+        # entries a lazy-only queue would still hold.
+        assert len(q._heap) < 300
+        assert len(q) == len(keep)
+        popped = []
+        while q:
+            popped.append(q.pop())
+        assert popped == keep
+
 
 class TestSimulator:
     def test_time_advances_with_events(self):
@@ -92,6 +136,23 @@ class TestSimulator:
         assert fired == [1]
         assert sim.now == 5.0
         assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_when_queue_drains(self):
+        # Regression: the clock used to stay at the last event time when the
+        # queue drained before the horizon, so sim.now depended on whether a
+        # later event happened to be scheduled.
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_until_on_empty_queue_advances_clock(self):
+        sim = Simulator()
+        assert sim.run(until=3.0) == 0
+        assert sim.now == 3.0
+        # A horizon in the past must not move the clock backwards.
+        assert sim.run(until=1.0) == 0
+        assert sim.now == 3.0
 
     def test_event_budget_guard(self):
         sim = Simulator()

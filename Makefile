@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-checkers bench-checkers-baseline experiments experiments-smoke clean-cache
+.PHONY: test bench bench-checkers bench-checkers-baseline bench-streaming experiments experiments-smoke clean-cache
 
 # Tier-1 verification (the command ROADMAP.md records).
 test:
@@ -25,6 +25,13 @@ bench-checkers:
 # Re-measure and commit a new checker baseline (after a deliberate change).
 bench-checkers-baseline:
 	$(PYTHON) benchmarks/check_regression.py --update
+
+# Streaming gate: fail-fast incremental checking must process >=3x fewer ops
+# than batch checking on a violating 500+ op stress history (plus the timed
+# pytest-benchmark comparison).
+bench-streaming:
+	$(PYTHON) -m pytest benchmarks/test_bench_streaming.py --benchmark-only -q
+	$(PYTHON) benchmarks/check_regression.py --streaming
 
 # One-scenario end-to-end check of the experiment orchestrator.
 experiments-smoke:

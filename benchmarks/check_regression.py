@@ -10,13 +10,24 @@ calibration loop and the comparison is made on *calibration-normalised*
 ratios — host speed and transient load cancel out, so a >2× excursion is an
 algorithmic regression, not noise.
 
+The streaming comparison (``--streaming`` / ``make bench-streaming``)
+additionally measures fail-fast *incremental* checking against batch checking
+on a violating 500+ operation stress history: the stream is corrupted early
+(a read redirected to a stale write of the same writer), the incremental
+checker must stop at the violation while the batch checker pays for the whole
+history, and the run fails unless the incremental path processed at least
+``STREAM_RATIO_FLOOR`` times fewer operations.  The measured timings and the
+ops ratio live in the same baseline JSON.
+
 Usage::
 
     python benchmarks/check_regression.py            # compare against baseline
+    python benchmarks/check_regression.py --streaming  # streaming gate only
     python benchmarks/check_regression.py --update   # re-measure and commit a
                                                      # new baseline JSON
 
-Run via ``make bench-checkers`` / ``make bench-checkers-baseline``.
+Run via ``make bench-checkers`` / ``make bench-streaming`` /
+``make bench-checkers-baseline``.
 """
 
 import argparse
@@ -30,12 +41,19 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 BASELINE_PATH = Path(__file__).with_name("checkers_baseline.json")
 TOLERANCE = 2.0
+#: Timings under this many milliseconds are timer-granularity/warm-up noise
+#: that does not cancel against the ~10 ms calibration loop; they are
+#: reported for information but excluded from the tolerance gate.
+NOISE_FLOOR_MS = 1.0
 REPEATS = 7
 CRITERIA = ("pram", "causal", "slow")
+#: Fail-fast incremental checking must process at least this many times fewer
+#: operations than batch checking on the violating stress stream.
+STREAM_RATIO_FLOOR = 3.0
 
 
-def build_stress_case():
-    """The 500+ op protocol trace used by ``test_bench_checkers`` (same seed)."""
+def build_stress_system():
+    """The 500+ op protocol run used by ``test_bench_checkers`` (same seed)."""
     from repro.mcs.system import MCSystem
     from repro.workloads.access_patterns import run_script, uniform_access_script
     from repro.workloads.distributions import random_distribution
@@ -43,9 +61,108 @@ def build_stress_case():
     dist = random_distribution(processes=8, variables=10, replicas_per_variable=4, seed=7)
     system = MCSystem(dist, protocol="pram_partial")
     run_script(system, uniform_access_script(dist, operations_per_process=65, seed=7))
-    history, read_from = system.history(), system.read_from()
-    assert len(history) >= 500
-    return history, read_from
+    assert len(system.history()) >= 500
+    return system
+
+
+def build_stress_case():
+    """The stress history and its exact read-from mapping."""
+    system = build_stress_system()
+    return system.history(), system.read_from()
+
+
+def build_violating_stream():
+    """The stress stream with one early read redirected to a stale write.
+
+    Returns ``(log, read_from, violation_position)`` where ``log`` is the
+    ``(op, source)`` recording stream with the corrupted source, ``read_from``
+    the matching full mapping, and ``violation_position`` the 0-based stream
+    index of the corrupted read.  The corruption is the smallest possible:
+    one read made to return an *older* write of the same writer on the same
+    variable than the reader had already observed — a proven violation of
+    every criterion of the lattice, placed in the first third of the stream
+    so fail-fast checking has something to save.
+    """
+    system = build_stress_system()
+    log = list(system.recorder.log())
+    read_from = system.read_from()
+    writes = {}  # (writer, variable) -> [writes in program order]
+    observed = {}  # (reader, variable, writer) -> max observed write index
+    for position, (op, source) in enumerate(log):
+        if op.is_write:
+            writes.setdefault((op.process, op.variable), []).append(op)
+            continue
+        if source is None:
+            continue
+        seen = observed.get((op.process, op.variable, source.process))
+        stale_candidates = [
+            w for w in writes.get((source.process, op.variable), [])
+            if seen is not None and w.index < seen
+        ]
+        if stale_candidates:
+            stale = stale_candidates[0]
+            corrupted_log = list(log)
+            corrupted_log[position] = (op, stale)
+            corrupted_rf = dict(read_from)
+            corrupted_rf[op] = stale
+            assert position <= len(log) // 3, (
+                f"corruption landed at stream position {position}/{len(log)}; "
+                "the stress workload changed — pick an earlier read"
+            )
+            return corrupted_log, corrupted_rf, position
+        observed[(op.process, op.variable, source.process)] = max(
+            seen if seen is not None else -1, source.index
+        )
+    raise SystemExit("no corruptible read found in the stress stream")
+
+
+def measure_streaming() -> dict:
+    """Fail-fast incremental vs batch checking on the violating stream.
+
+    Returns timing medians plus ``streaming_ops_ratio`` — how many times
+    fewer operations the fail-fast incremental checker processed.
+    """
+    from repro.core.consistency import get_checker, incremental_checker
+    from repro.core.history import History
+
+    log, read_from, _ = build_violating_stream()
+    # Rebuild the history carrying the corruption so batch checking sees the
+    # same (violating) run the stream describes.
+    per_process = {}
+    for op, _source in log:
+        per_process.setdefault(op.process, []).append(op)
+    history = History(per_process)
+
+    def run_incremental() -> int:
+        checker = incremental_checker("pram", exact=False)
+        checker.start(universe=history.processes)
+        for op, source in log:
+            if checker.feed(op, source) is not None:
+                return checker.ops_fed
+        raise SystemExit("incremental checker missed the injected violation")
+
+    def run_batch():
+        return get_checker("pram").check(history, read_from, exact=False)
+
+    inc_samples, batch_samples = [], []
+    ops_incremental = 0
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        ops_incremental = run_incremental()
+        inc_samples.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        result = run_batch()
+        batch_samples.append(time.perf_counter() - started)
+        if result.consistent:
+            raise SystemExit(
+                "batch checker did not flag the corrupted stress history; "
+                "the corruption scheme no longer violates — fix the benchmark"
+            )
+    return {
+        "streaming_failfast_ms": round(statistics.median(inc_samples) * 1e3, 3),
+        "streaming_batch_precheck_ms": round(statistics.median(batch_samples) * 1e3, 3),
+        "streaming_ops_ratio": round(len(history) / ops_incremental, 2),
+    }
 
 
 def _calibration_sample() -> float:
@@ -90,20 +207,53 @@ def measure() -> dict:
     timings = {"calibration_ms": round(statistics.median(calibration) * 1e3, 3)}
     for criterion in CRITERIA:
         timings[f"{criterion}_precheck_ms"] = round(statistics.median(samples[criterion]) * 1e3, 3)
+    timings.update(measure_streaming())
     return timings
+
+
+def check_stream_ratio(measured: dict) -> list:
+    """The streaming acceptance gate: ops ratio must clear the floor."""
+    failures = []
+    ratio = measured.get("streaming_ops_ratio")
+    if ratio is None:
+        failures.append("streaming_ops_ratio: not measured")
+    elif ratio < STREAM_RATIO_FLOOR:
+        failures.append(
+            f"streaming_ops_ratio: fail-fast incremental checking processed "
+            f"only {ratio}x fewer ops than batch (floor {STREAM_RATIO_FLOOR}x)"
+        )
+    return failures
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true", help="rewrite the baseline JSON")
+    parser.add_argument("--streaming", action="store_true",
+                        help="run only the fail-fast streaming vs batch gate")
     args = parser.parse_args(argv)
+
+    if args.streaming:
+        measured = measure_streaming()
+        for key, value in sorted(measured.items()):
+            print(f"{key}: {value}")
+        failures = check_stream_ratio(measured)
+        if failures:
+            print("\nstreaming benchmark gate failed:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"\nfail-fast incremental checking processed "
+              f"{measured['streaming_ops_ratio']}x fewer ops than batch "
+              f"(floor {STREAM_RATIO_FLOOR}x)")
+        return 0
 
     measured = measure()
     if args.update:
         BASELINE_PATH.write_text(json.dumps(measured, indent=2, sort_keys=True) + "\n")
         print(f"baseline updated: {BASELINE_PATH}")
         for key, value in sorted(measured.items()):
-            print(f"  {key}: {value} ms")
+            unit = "" if key.endswith("_ratio") else " ms"
+            print(f"  {key}: {value}{unit}")
         return 0
 
     if not BASELINE_PATH.exists():
@@ -117,13 +267,18 @@ def main(argv=None) -> int:
     current_cal = measured["calibration_ms"]
     print(f"calibration: {current_cal} ms now vs {reference_cal} ms at baseline time")
 
-    failures = []
+    failures = check_stream_ratio(measured)
     for key, reference in sorted(baseline.items()):
-        if key == "calibration_ms":
+        if key == "calibration_ms" or key.endswith("_ratio"):
+            # ratios are dimensionless gates, handled by check_stream_ratio
             continue
         current = measured.get(key)
         if current is None:
             failures.append(f"{key}: present in baseline but not measured")
+            continue
+        if reference < NOISE_FLOOR_MS:
+            print(f"{key}: {current} ms vs baseline {reference} ms "
+                  f"(sub-{NOISE_FLOOR_MS}ms: informational only, not gated)")
             continue
         if reference:
             ratio = (current / current_cal) / (reference / reference_cal)

@@ -1,13 +1,17 @@
 #!/usr/bin/env python
-"""Quickstart: histories, consistency checking and share-graph analysis.
+"""Quickstart: streaming sessions, histories and share-graph analysis.
 
-This walks through the paper's formal toolkit in a few lines:
+This walks through the library in a few lines:
 
-1. build a history the way the paper writes them (Figure 4);
-2. check it against the consistency criteria (causal vs. lazy causal);
-3. build the share graph of a variable distribution, find hoops and the
+1. run one streaming :class:`repro.Session` — workload, protocol, simulator
+   and incremental consistency checking behind a single object;
+2. see fail-fast checking abort a violating run early (checking atomicity of
+   a weakly consistent protocol run);
+3. build a history the way the paper writes them (Figure 4) and check it
+   against the consistency criteria (causal vs. lazy causal);
+4. build the share graph of a variable distribution, find hoops and the
    x-relevant processes of Theorem 1;
-4. run a tiny program on the partially replicated PRAM memory.
+5. run a tiny program on the partially replicated PRAM memory.
 
 Run with ``python examples/quickstart.py``.
 """
@@ -16,12 +20,51 @@ from repro import (
     BOTTOM,
     DistributedSharedMemory,
     HistoryBuilder,
+    Session,
     ShareGraph,
     VariableDistribution,
     all_checkers,
     verify_theorem1,
 )
 from repro.analysis.report import render_table
+
+
+def run_streaming_session() -> None:
+    """One end-to-end run through the Session facade."""
+    report = Session(
+        protocol="pram_partial",
+        distribution=("random", {"processes": 6, "variables": 8,
+                                 "replicas_per_variable": 3}),
+        workload=("uniform", {"operations_per_process": 10}),
+        check_policy="fail_fast",
+    ).run()
+    print("Streaming session (pram_partial, incremental checking):")
+    print(report.summary())
+    print()
+
+
+def run_failfast_violation() -> None:
+    """Fail-fast checking stops a violating run before it completes.
+
+    A partially replicated PRAM memory is nowhere near atomic: replicas
+    return stale values while newer writes have already completed in real
+    time.  Checking ``atomic`` incrementally proves that within a few
+    operations, and the session aborts instead of paying for the full
+    workload.
+    """
+    report = Session(
+        protocol="pram_partial",
+        distribution=("random", {"processes": 6, "variables": 8,
+                                 "replicas_per_variable": 3}),
+        workload=("uniform", {"operations_per_process": 40}),
+        criteria="atomic",
+        check_policy="fail_fast",
+    ).run()
+    print("Fail-fast session (atomicity of a PRAM run):")
+    print(f"stopped early after {report.operations_executed} of "
+          f"{report.operations_total} operations")
+    print(f"first violation: {report.first_violation}")
+    print()
 
 
 def paper_figure4_history():
@@ -87,6 +130,8 @@ def run_tiny_dsm_program() -> None:
 
 
 def main() -> None:
+    run_streaming_session()
+    run_failfast_violation()
     check_history()
     analyse_share_graph()
     run_tiny_dsm_program()

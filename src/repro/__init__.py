@@ -20,16 +20,30 @@ The package is organised bottom-up:
 * :mod:`repro.analysis` — the reproduction harness: every figure and theorem
   of the paper, plus the quantitative control-overhead studies.
 
+* :mod:`repro.api` — the streaming :class:`~repro.api.Session` facade tying
+  all of the above behind one object, with incremental consistency checking
+  over live runs;
+* :mod:`repro.experiments` — the declarative scenario-suite orchestrator,
+  built on the facade.
+
 Quickstart::
 
-    from repro import DistributedSharedMemory, VariableDistribution
+    from repro import Session
 
-    dist = VariableDistribution({0: {"x"}, 1: {"x", "y"}, 2: {"y"}})
-    dsm = DistributedSharedMemory(dist, protocol="pram_partial")
+    report = Session(
+        protocol="pram_partial",
+        distribution=("random", {"processes": 6, "variables": 8,
+                                 "replicas_per_variable": 3}),
+        workload=("uniform", {"operations_per_process": 10}),
+        check_policy="fail_fast",
+    ).run()
+    print(report.summary())
 
-See ``examples/`` for runnable end-to-end scenarios.
+See ``examples/`` for runnable end-to-end scenarios and ``docs/API.md`` for
+the facade and incremental-checker reference.
 """
 
+from .api import CheckPolicy, RunReport, Session
 from .core import (
     BOTTOM,
     History,
@@ -50,6 +64,7 @@ from .version import __version__
 
 __all__ = [
     "BOTTOM",
+    "CheckPolicy",
     "DSMRuntime",
     "DistributedSharedMemory",
     "History",
@@ -61,6 +76,8 @@ __all__ = [
     "PROTOCOLS",
     "ProcessContext",
     "RunOutcome",
+    "RunReport",
+    "Session",
     "ShareGraph",
     "VariableDistribution",
     "__version__",

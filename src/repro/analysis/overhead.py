@@ -23,11 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..core.consistency import get_checker
 from ..core.distribution import VariableDistribution
-from ..mcs.metrics import EfficiencyReport, relevance_violations
-from ..mcs.system import PROTOCOL_CRITERION, MCSystem
-from ..workloads.access_patterns import Access, run_script, single_writer_script, uniform_access_script
+from ..mcs.metrics import EfficiencyReport
+from ..mcs.system import PROTOCOL_CRITERION
+from ..workloads.access_patterns import Access, single_writer_script, uniform_access_script
 from ..workloads.distributions import random_distribution
 from .report import render_table
 
@@ -65,23 +64,28 @@ def run_protocol(
     check_consistency: bool = True,
     protocol_options: Optional[Dict[str, object]] = None,
 ) -> ProtocolRun:
-    """Replay ``script`` over ``protocol`` and collect efficiency + correctness."""
-    system = MCSystem(distribution, protocol=protocol, protocol_options=protocol_options)
-    run_script(system, script)
-    report = system.efficiency()
-    criterion = PROTOCOL_CRITERION[protocol]
-    consistent: Optional[bool] = None
-    if check_consistency:
-        history = system.history()
-        checker = get_checker(criterion)
-        consistent = checker.check(history, read_from=system.read_from()).consistent
-    violations = relevance_violations(report, distribution)
+    """Replay ``script`` over ``protocol`` and collect efficiency + correctness.
+
+    One streaming :class:`repro.api.Session` owns the run end-to-end; the
+    consistency verdict comes from its incremental checker's finalize, which
+    is exactly the batch :meth:`~repro.core.consistency.base.ConsistencyChecker.check`.
+    """
+    from ..api import Session  # local import: repro.api builds on this module's layer
+
+    session = Session(
+        protocol=protocol,
+        distribution=distribution,
+        workload=script,
+        check=check_consistency,
+        protocol_options=protocol_options,
+    )
+    outcome = session.run()
     return ProtocolRun(
         protocol=protocol,
-        report=report,
-        consistent=consistent,
-        criterion=criterion,
-        irrelevant_relevance_violations=sum(len(v) for v in violations.values()),
+        report=outcome.efficiency,
+        consistent=outcome.consistent,
+        criterion=PROTOCOL_CRITERION[protocol],
+        irrelevant_relevance_violations=outcome.relevance_violations,
     )
 
 

@@ -1,0 +1,45 @@
+"""One-object streaming facade over the whole reproduction pipeline.
+
+:class:`Session` assembles workload, protocol system, network simulator,
+history recorder and (incremental) consistency checkers behind a single
+object::
+
+    from repro.api import Session
+
+    report = Session(
+        protocol="pram_partial",
+        distribution=("random", {"processes": 6, "variables": 8,
+                                 "replicas_per_variable": 3}),
+        workload=("uniform", {"operations_per_process": 10}),
+        check_policy="fail_fast",
+    ).run()
+    print(report.summary())
+
+Checking happens *while* the run executes (see
+:mod:`repro.core.consistency.incremental`), so a violating run stops at the
+first proven violation instead of paying for the full history — the batch
+entry points (:func:`repro.experiments.run_point`,
+:func:`repro.analysis.overhead.run_protocol`, the CLI) are all built on top
+of this facade.
+"""
+
+from ..core.consistency.incremental import (
+    BatchAdapter,
+    CheckPolicy,
+    IncrementalChecker,
+    PrefixChecker,
+    StreamMonitors,
+    incremental_checker,
+)
+from .session import RunReport, Session
+
+__all__ = [
+    "BatchAdapter",
+    "CheckPolicy",
+    "IncrementalChecker",
+    "PrefixChecker",
+    "RunReport",
+    "Session",
+    "StreamMonitors",
+    "incremental_checker",
+]

@@ -1,0 +1,348 @@
+"""The streaming :class:`Session` facade and its :class:`RunReport`.
+
+A session owns one end-to-end run: it builds the variable distribution and
+the scripted workload (from concrete objects or declarative specs), wires a
+:class:`~repro.mcs.system.MCSystem` over the discrete-event simulator, and
+attaches incremental consistency checkers to the history recorder so every
+operation is checked *as it is recorded*.  The
+:class:`~repro.core.consistency.incremental.CheckPolicy` decides how eagerly
+the polynomial prefix checks run and whether a proven violation aborts the
+run (fail-fast) — the property that makes adversarial and long-horizon
+workloads affordable: a violation at operation 50 costs 50 operations, not
+5 000.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.consistency.base import CheckResult
+from ..core.consistency.incremental import (
+    BatchAdapter,
+    CheckPolicy,
+    IncrementalChecker,
+    incremental_checker,
+)
+from ..core.distribution import VariableDistribution
+from ..core.history import History
+from ..core.operations import Operation
+from ..exceptions import ProtocolError, SessionError
+from ..mcs.metrics import EfficiencyReport, relevance_violations
+from ..mcs.recorder import HistoryRecorder
+from ..mcs.system import PROTOCOL_CRITERION, PROTOCOLS, MCSystem
+from ..netsim.latency import LatencyModel
+from ..workloads.access_patterns import Access, drive_script
+
+#: What ``Session(distribution=...)`` accepts: a concrete distribution, a
+#: declarative spec, or a ``(family, params)`` pair resolved through the
+#: experiment spec layer.
+DistributionLike = Union[VariableDistribution, "DistributionSpec", Tuple[str, Mapping[str, Any]], str]
+
+#: What ``Session(workload=...)`` accepts: a concrete access script, a
+#: declarative spec, or a ``(pattern, params)`` pair.
+WorkloadLike = Union[Sequence[Access], "WorkloadSpec", Tuple[str, Mapping[str, Any]], str]
+
+
+@dataclass
+class RunReport:
+    """Everything one streaming run produced.
+
+    ``results`` maps each checked criterion to its
+    :class:`~repro.core.consistency.base.CheckResult`; ``consistent`` is the
+    conjunction of the verdicts (``None`` when checking was disabled).
+    ``operations_executed`` counts the script operations actually driven —
+    strictly less than ``operations_total`` when a fail-fast policy stopped
+    the run early (``stopped_early``).  ``ops_checked`` counts the operations
+    the checkers observed, the metric the streaming benchmark compares
+    against batch checking.
+    """
+
+    protocol: str
+    criteria: Tuple[str, ...]
+    results: Dict[str, CheckResult] = field(default_factory=dict)
+    consistent: Optional[bool] = None
+    exact: bool = True
+    operations_total: int = 0
+    operations_executed: int = 0
+    ops_checked: int = 0
+    stopped_early: bool = False
+    first_violation: Optional[str] = None
+    efficiency: Optional[EfficiencyReport] = None
+    relevance_violations: int = 0
+    events_processed: int = 0
+    elapsed_s: float = 0.0
+    history: Optional[History] = None
+    read_from: Optional[Dict[Operation, Optional[Operation]]] = None
+
+    def __bool__(self) -> bool:
+        return self.consistent is not False
+
+    def result(self, criterion: Optional[str] = None) -> CheckResult:
+        """The check result for ``criterion`` (default: the only one checked)."""
+        if criterion is None:
+            if len(self.results) != 1:
+                raise SessionError(
+                    f"run checked {sorted(self.results) or 'no'} criteria; "
+                    "name the one you want"
+                )
+            return next(iter(self.results.values()))
+        try:
+            return self.results[criterion]
+        except KeyError:
+            raise SessionError(
+                f"criterion {criterion!r} was not checked in this run "
+                f"(checked: {sorted(self.results)})"
+            ) from None
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest (the CLI's output)."""
+        lines = [
+            f"protocol            : {self.protocol}",
+            f"operations          : {self.operations_executed}/{self.operations_total}"
+            + ("  (stopped early)" if self.stopped_early else ""),
+        ]
+        for criterion in self.criteria:
+            result = self.results.get(criterion)
+            # NB: CheckResult.__bool__ is the *verdict*, so test for None.
+            lines.append(f"{criterion:<20}: "
+                         + (result.summary() if result is not None else "not checked"))
+        if self.first_violation:
+            lines.append(f"first violation     : {self.first_violation}")
+        if self.efficiency is not None:
+            lines.append(f"messages sent       : {self.efficiency.messages_sent}")
+            lines.append(f"control bytes       : {self.efficiency.control_bytes}")
+            lines.append(f"irrelevant messages : {self.efficiency.irrelevant_messages}")
+        lines.append(f"elapsed             : {self.elapsed_s:.3f}s")
+        return "\n".join(lines)
+
+
+class Session:
+    """One streaming protocol run: workload -> simulator -> incremental checks.
+
+    Parameters
+    ----------
+    protocol:
+        Name from :data:`repro.mcs.PROTOCOLS`.
+    distribution:
+        A :class:`~repro.core.distribution.VariableDistribution`, a
+        :class:`~repro.experiments.spec.DistributionSpec`, a family name, or
+        a ``(family, params)`` pair.
+    workload:
+        A concrete ``Sequence[Access]`` script, a
+        :class:`~repro.experiments.spec.WorkloadSpec`, a pattern name, or a
+        ``(pattern, params)`` pair.
+    criteria:
+        Criterion name(s) to check incrementally; defaults to the criterion
+        the protocol claims (:data:`repro.mcs.PROTOCOL_CRITERION`).  Pass
+        ``check=False`` to disable checking entirely.
+    check_policy:
+        A :class:`~repro.core.consistency.incremental.CheckPolicy` or one of
+        its string spellings (``"finalize"``, ``"every_op"``, ``"fail_fast"``,
+        ``"every:N[:fail_fast]"``).
+    exact:
+        Whether ``finalize`` runs the exact serialization search (witnesses)
+        or only the polynomial pre-check.
+    keep_history:
+        When ``False`` neither the history nor the checkers' prefixes are
+        buffered; only the O(1) stream monitors run and the report carries
+        no :class:`~repro.core.history.History`.  Memory then no longer
+        grows with the length of the run's *read* stream (the recorder still
+        keeps the write table it needs to resolve read sources, so it grows
+        with the number of distinct writes only).
+    pool:
+        Optional worker pool forwarded to per-process checkers at finalize.
+    """
+
+    def __init__(
+        self,
+        protocol: str = "pram_partial",
+        distribution: Optional[DistributionLike] = None,
+        workload: Optional[WorkloadLike] = None,
+        *,
+        seed: int = 0,
+        check: bool = True,
+        criteria: Union[None, str, Sequence[str]] = None,
+        check_policy: Union[CheckPolicy, str, None] = None,
+        exact: bool = True,
+        keep_history: bool = True,
+        latency: Optional[LatencyModel] = None,
+        fifo: bool = True,
+        protocol_options: Optional[Dict[str, Any]] = None,
+        pool: Optional[Any] = None,
+        settle_every: int = 1,
+        max_retries: int = 1_000,
+    ) -> None:
+        if protocol not in PROTOCOLS:
+            raise ProtocolError(
+                f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}"
+            )
+        if distribution is None:
+            raise SessionError("Session needs a distribution")
+        if workload is None:
+            raise SessionError("Session needs a workload")
+        self.protocol = protocol
+        self.seed = seed
+        self.policy = CheckPolicy.parse(check_policy)
+        self.exact = exact
+        self.keep_history = keep_history
+        self._check = check
+        if criteria is None:
+            self.criteria: Tuple[str, ...] = (PROTOCOL_CRITERION[protocol],)
+        elif isinstance(criteria, str):
+            self.criteria = (criteria,)
+        else:
+            self.criteria = tuple(criteria)
+        self._pool = pool
+        self._settle_every = settle_every
+        self._max_retries = max_retries
+
+        self.distribution = self._resolve_distribution(distribution)
+        self.script: List[Access] = self._resolve_workload(workload)
+        self.recorder = HistoryRecorder(keep_history=keep_history)
+        self.system = MCSystem(
+            self.distribution,
+            protocol=protocol,
+            latency=latency,
+            fifo=fifo,
+            protocol_options=protocol_options,
+            recorder=self.recorder,
+        )
+        self.checkers: Dict[str, IncrementalChecker] = {}
+        if check:
+            for criterion in self.criteria:
+                checker = incremental_checker(
+                    criterion, exact=exact, bounded=not keep_history
+                )
+                checker.start(universe=tuple(self.distribution.processes))
+                if isinstance(checker, BatchAdapter):
+                    checker.set_pool(pool)
+                self.checkers[criterion] = checker
+        self._ran = False
+
+    # -- input resolution ----------------------------------------------------
+    def _resolve_distribution(self, distribution: DistributionLike) -> VariableDistribution:
+        if isinstance(distribution, VariableDistribution):
+            return distribution
+        from ..experiments.spec import DistributionSpec
+
+        if isinstance(distribution, str):
+            distribution = (distribution, {})
+        if isinstance(distribution, tuple):
+            family, params = distribution
+            distribution = DistributionSpec(family, dict(params))
+        if not isinstance(distribution, DistributionSpec):
+            raise SessionError(
+                "distribution must be a VariableDistribution, a "
+                f"DistributionSpec, a family name or a (family, params) pair; "
+                f"got {type(distribution).__name__}"
+            )
+        return distribution.build(seed=self.seed)
+
+    def _resolve_workload(self, workload: WorkloadLike) -> List[Access]:
+        from ..experiments.spec import WorkloadSpec
+
+        if isinstance(workload, str):
+            workload = (workload, {})
+        if isinstance(workload, tuple) and len(workload) == 2 and isinstance(workload[0], str):
+            pattern, params = workload
+            workload = WorkloadSpec(pattern, dict(params))
+        if isinstance(workload, WorkloadSpec):
+            return workload.build(self.distribution, seed=self.seed)
+        script = list(workload)
+        if any(not isinstance(access, Access) for access in script):
+            raise SessionError(
+                "workload must be a WorkloadSpec, a pattern name, a "
+                "(pattern, params) pair or a sequence of Access objects"
+            )
+        return script
+
+    # -- execution -----------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> RunReport:
+        """Execute the workload, checking incrementally; single-shot.
+
+        ``until`` caps the number of script operations driven (the whole
+        script when ``None``).  Returns the :class:`RunReport`; a fail-fast
+        policy makes the run stop at the first proven violation, with
+        ``report.stopped_early`` set.
+        """
+        if self._ran:
+            raise SessionError(
+                "a Session runs once; build a new Session for a fresh run"
+            )
+        self._ran = True
+        started = time.perf_counter()
+        first_violation: List[str] = []
+        violated = False
+
+        def feed(op: Operation, source: Optional[Operation]) -> None:
+            nonlocal violated
+            for checker in self.checkers.values():
+                result = checker.feed(op, source)
+                if result is not None and not result.consistent:
+                    violated = True
+                    if not first_violation and result.violations:
+                        first_violation.append(result.violations[0])
+
+        if self.checkers:
+            self.recorder.subscribe(feed)
+
+        if until is not None and until < 0:
+            raise SessionError(f"until must be >= 0, got {until}")
+        budget = len(self.script) if until is None else min(until, len(self.script))
+        executed = 0
+        stopped_early = False
+        simulator = self.system.simulator
+        for _idx, _access in drive_script(
+            self.system,
+            self.script[:budget],
+            settle_every=self._settle_every,
+            max_retries=self._max_retries,
+        ):
+            executed += 1
+            if self.policy.due(executed):
+                for checker in self.checkers.values():
+                    result = checker.check_now()
+                    if result is not None and not result.consistent:
+                        violated = True
+                        if not first_violation and result.violations:
+                            first_violation.append(result.violations[0])
+            if violated and self.policy.fail_fast:
+                stopped_early = True
+                break
+        if not stopped_early:
+            self.system.settle()
+        if self.checkers:
+            self.recorder.unsubscribe(feed)
+
+        results = {name: checker.finalize() for name, checker in self.checkers.items()}
+        report = RunReport(
+            protocol=self.protocol,
+            criteria=self.criteria if self._check else (),
+            results=results,
+            consistent=(all(r.consistent for r in results.values())
+                        if results else None),
+            exact=all(r.exact for r in results.values()) if results else True,
+            operations_total=len(self.script),
+            operations_executed=executed,
+            ops_checked=max((c.ops_fed for c in self.checkers.values()), default=0),
+            stopped_early=stopped_early,
+            first_violation=first_violation[0] if first_violation else None,
+            efficiency=self.system.efficiency(),
+            events_processed=simulator.processed_events,
+            elapsed_s=time.perf_counter() - started,
+        )
+        report.relevance_violations = sum(
+            len(v) for v in relevance_violations(report.efficiency, self.distribution).values()
+        )
+        if self.keep_history:
+            report.history = self.recorder.history()
+            report.read_from = self.recorder.read_from()
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Session protocol={self.protocol!r} criteria={list(self.criteria)} "
+            f"ops={len(self.script)} policy={self.policy}>"
+        )

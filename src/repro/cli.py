@@ -3,6 +3,11 @@
 ``python -m repro <command>`` exposes the main entry points without writing
 any Python:
 
+``run``
+    One streaming session through the :class:`repro.api.Session` facade:
+    protocol x distribution x workload with incremental consistency checking
+    (``--check-policy fail_fast`` aborts a violating run at the first proven
+    violation).
 ``reproduce``
     Re-evaluate every figure and theorem of the paper and print the
     claim/measured/match summary table.
@@ -27,6 +32,53 @@ import argparse
 import json
 import sys
 from typing import List, Optional, Sequence
+
+
+def _parse_params(pairs: Optional[Sequence[str]], flag: str) -> dict:
+    """Parse repeated ``key=value`` flags, decoding ints/floats/bools."""
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"error: {flag} wants key=value, got {pair!r}")
+        value: object = raw
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            for cast in (int, float):
+                try:
+                    value = cast(raw)
+                    break
+                except ValueError:
+                    continue
+        params[key] = value
+    return params
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .api import Session
+
+    dist_params = _parse_params(args.dist_param, "--dist-param")
+    if args.distribution == "random" and not dist_params:
+        # the canonical Section 3.3 comparison distribution
+        dist_params = {"processes": 6, "variables": 8, "replicas_per_variable": 3}
+    session = Session(
+        protocol=args.protocol,
+        distribution=(args.distribution, dist_params),
+        workload=(args.workload, _parse_params(args.workload_param, "--workload-param")),
+        seed=args.seed,
+        check=not args.no_check,
+        criteria=args.criterion or None,
+        check_policy=args.check_policy,
+        exact=not args.heuristic,
+        keep_history=not args.no_history,
+    )
+    report = session.run(until=args.until)
+    print(report.summary())
+    if args.verbose and report.history is not None:
+        print()
+        print(report.history.describe())
+    return 0 if report.consistent is not False else 1
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -205,6 +257,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    run = sub.add_parser("run", help="one streaming session with incremental checking")
+    run.add_argument("--protocol", default="pram_partial",
+                     help="protocol name (see repro.mcs.PROTOCOLS)")
+    run.add_argument("--distribution", default="random",
+                     help="distribution family (full_replication, disjoint_blocks, "
+                          "chain, random, neighbourhood)")
+    run.add_argument("--dist-param", action="append", default=None, metavar="K=V",
+                     help="distribution family parameter (repeatable)")
+    run.add_argument("--workload", default="uniform",
+                     help="workload pattern (uniform, single_writer)")
+    run.add_argument("--workload-param", action="append", default=None, metavar="K=V",
+                     help="workload pattern parameter (repeatable)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--criterion", action="append", default=None,
+                     help="criterion to check incrementally (repeatable; "
+                          "default: the protocol's claimed criterion)")
+    run.add_argument("--check-policy", default=None,
+                     help="finalize | every_op | fail_fast | every:N[:fail_fast]")
+    run.add_argument("--until", type=int, default=None,
+                     help="drive at most this many workload operations")
+    run.add_argument("--heuristic", action="store_true",
+                     help="skip the exact serialization search at finalize")
+    run.add_argument("--no-check", action="store_true",
+                     help="execute without consistency checking")
+    run.add_argument("--no-history", action="store_true",
+                     help="bounded memory: keep no history, stream monitors only")
+    run.add_argument("--verbose", action="store_true",
+                     help="also print the recorded history")
+
     sub.add_parser("reproduce", help="re-evaluate every figure and theorem")
 
     overhead = sub.add_parser("overhead", help="Section 3.3 efficiency comparison")
@@ -271,6 +352,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
+        "run": _cmd_run,
         "reproduce": _cmd_reproduce,
         "overhead": _cmd_overhead,
         "bellman-ford": _cmd_bellman_ford,

@@ -9,16 +9,30 @@ from .criteria import (
     PRAMChecker,
     SlowChecker,
 )
+from .incremental import (
+    BatchAdapter,
+    CheckPolicy,
+    IncrementalChecker,
+    PrefixChecker,
+    StreamMonitors,
+    incremental_checker,
+)
 from .registry import CRITERIA, IMPLIES, all_checkers, get_checker, implied_criteria
 from .sequential import SequentialChecker
 
 __all__ = [
     "AtomicChecker",
+    "BatchAdapter",
     "CRITERIA",
     "CausalChecker",
+    "CheckPolicy",
     "CheckResult",
     "ConsistencyChecker",
     "IMPLIES",
+    "IncrementalChecker",
+    "PrefixChecker",
+    "StreamMonitors",
+    "incremental_checker",
     "LazyCausalChecker",
     "LazySemiCausalChecker",
     "PRAMChecker",

@@ -26,7 +26,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ...exceptions import ConsistencyCheckError
+from ...exceptions import ConsistencyCheckError, WitnessError
 from ..history import History
 from ..operations import Operation
 from ..orders import Relation
@@ -90,11 +90,12 @@ class CheckResult:
     def witness(self, process: int = -1) -> List[Operation]:
         """Witness serialization for ``process`` (or the global one, key ``-1``).
 
-        Raises a :class:`KeyError` with an explanatory message when no witness
-        was recorded for ``process``.  In particular, checks run with
-        ``exact=False`` never record witnesses: such a ``True`` verdict is a
-        *heuristic* one — the polynomial bad-pattern pre-check found no
-        violation — and carries no serialization proving consistency.
+        Raises a :class:`~repro.exceptions.WitnessError` (a :class:`KeyError`
+        subclass) with an explanatory message when no witness was recorded
+        for ``process``.  In particular, checks run with ``exact=False``
+        never record witnesses: such a ``True`` verdict is a *heuristic* one
+        — the polynomial bad-pattern pre-check found no violation — and
+        carries no serialization proving consistency.
         """
         try:
             return self.serializations[process]
@@ -109,7 +110,7 @@ class CheckResult:
                 hint = f"witnesses were recorded for processes {available}"
             else:
                 hint = "no witness serializations were recorded"
-            raise KeyError(
+            raise WitnessError(
                 f"no witness serialization for process {process} "
                 f"(criterion {self.criterion!r}): {hint}"
             ) from None

@@ -1,0 +1,451 @@
+"""Incremental consistency checking over live runs.
+
+The batch checkers of this package answer "is this *finished* history
+consistent?".  The streaming :class:`repro.api.Session` facade needs the dual
+question: "is the run still consistent *so far*?" — answered while the
+protocol executes, so a violating run can be aborted long before its history
+is complete.  This module provides that protocol:
+
+:class:`IncrementalChecker`
+    ``start(universe) / feed(op, read_from) / finalize() -> CheckResult``.
+    ``feed`` receives operations in *recording* (delivery) order, which by
+    construction extends every process' program order, so at any instant the
+    fed operations form a prefix of each local history.  All relations of the
+    paper (program, read-from, causal and lazy closures, PRAM, slow) are
+    *monotone* — adding operations only ever adds pairs — and every bad
+    pattern of :meth:`repro.core.serialization.SerializationProblem.quick_violations`
+    is an existential statement over those relations.  A violation found on a
+    prefix therefore remains a violation of every extension: early ``False``
+    verdicts are exact proofs.
+
+:class:`StreamMonitors`
+    O(1)-per-operation necessary conditions maintained natively (no relation
+    is built): per-reader per-variable writer monotonicity (a process that
+    observed the ``i``-th write of a writer on ``x`` can never read an older
+    write of that writer on ``x``), freshness of ``⊥`` reads, and — for the
+    atomic criterion — a real-time staleness monitor.  All are sound for the
+    *weakest* criterion of the lattice (slow memory), hence for every
+    criterion above it.
+
+:class:`PrefixChecker`
+    Native incremental checker: the stream monitors plus, on demand
+    (:meth:`~IncrementalChecker.check_now`), the polynomial bad-pattern
+    pre-check over the bitset :class:`~repro.core.orders.Relation` of the fed
+    prefix.  Purely polynomial; ``finalize`` yields a heuristic verdict
+    (``exact=False``) like the batch pre-check does.
+
+:class:`BatchAdapter`
+    A :class:`PrefixChecker` whose ``finalize`` additionally runs the wrapped
+    batch checker's exact serialization search, so streaming callers get the
+    exact same verdicts (and witnesses) the offline
+    :meth:`~repro.core.consistency.base.ConsistencyChecker.check` returns.
+
+:class:`CheckPolicy`
+    When to spend how much: every-op / every-N / on-finalize cadence for the
+    prefix checks, fail-fast versus collect-all on violation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...exceptions import ConsistencyCheckError, UnknownCriterionError
+from ..history import History
+from ..operations import Operation
+from .base import CheckResult, ConsistencyChecker, PerProcessChecker
+
+
+# ---------------------------------------------------------------------------
+# Check policy
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CheckPolicy:
+    """When the incremental checkers run their prefix checks.
+
+    Attributes
+    ----------
+    every:
+        Run the polynomial prefix check every ``every`` fed operations;
+        ``0`` disables periodic checks (finalize-only, unless ``geometric``).
+        The O(1) stream monitors always run on every operation regardless.
+    fail_fast:
+        When ``True`` the session stops the run at the first proven
+        violation; when ``False`` it keeps executing and collects every
+        violation it finds.
+    geometric:
+        Run the prefix check at geometrically growing prefixes (operations
+        16, 32, 64, ...).  Each check is O(prefix²)-ish, so a geometric
+        cadence keeps the *total* checking work within a constant factor of
+        the single final check — the right default for fail-fast sessions,
+        where a fixed ``every=1`` cadence would cost O(n³) on a clean run.
+    """
+
+    every: int = 0
+    fail_fast: bool = False
+    geometric: bool = False
+
+    #: First geometric checkpoint (prefixes below this are monitor-only).
+    GEOMETRIC_START = 16
+
+    #: Spellings accepted by :meth:`parse` (and by ``Session(check_policy=...)``):
+    #: name -> (every, fail_fast, geometric).
+    ALIASES = {
+        "finalize": (0, False, False),
+        "batch": (0, False, False),
+        "every_op": (1, False, False),
+        "fail_fast": (0, True, True),
+    }
+
+    def __post_init__(self) -> None:
+        if self.every < 0:
+            raise ConsistencyCheckError(
+                f"CheckPolicy.every must be >= 0, got {self.every}"
+            )
+
+    @classmethod
+    def parse(cls, spec: "CheckPolicy | str | None") -> "CheckPolicy":
+        """Resolve a policy from an instance, an alias string or ``None``.
+
+        Strings: ``"finalize"``/``"batch"``, ``"every_op"``, ``"fail_fast"``,
+        or ``"every:N"`` (optionally ``"every:N:fail_fast"``).
+        """
+        if spec is None:
+            return cls()
+        if isinstance(spec, cls):
+            return spec
+        if not isinstance(spec, str):
+            raise ConsistencyCheckError(
+                f"check policy must be a CheckPolicy or a string, got {spec!r}"
+            )
+        if spec in cls.ALIASES:
+            every, fail_fast, geometric = cls.ALIASES[spec]
+            return cls(every=every, fail_fast=fail_fast, geometric=geometric)
+        if spec.startswith("every:"):
+            parts = spec.split(":")
+            try:
+                every = int(parts[1])
+            except (IndexError, ValueError):
+                raise ConsistencyCheckError(
+                    f"malformed check policy {spec!r}; want 'every:N[:fail_fast]'"
+                ) from None
+            fail_fast = len(parts) > 2 and parts[2] == "fail_fast"
+            return cls(every=every, fail_fast=fail_fast)
+        raise ConsistencyCheckError(
+            f"unknown check policy {spec!r}; known: "
+            f"{sorted(cls.ALIASES)} or 'every:N[:fail_fast]'"
+        )
+
+    def due(self, ops_fed: int) -> bool:
+        """``True`` when a prefix check is due after ``ops_fed`` operations."""
+        if self.every > 0 and ops_fed % self.every == 0:
+            return True
+        if self.geometric and ops_fed >= self.GEOMETRIC_START:
+            return ops_fed & (ops_fed - 1) == 0  # powers of two
+        return False
+
+
+# ---------------------------------------------------------------------------
+# O(1) stream monitors
+# ---------------------------------------------------------------------------
+
+class StreamMonitors:
+    """Constant-time-per-op necessary conditions over the operation stream.
+
+    Every reported violation is a proof of inconsistency under slow memory —
+    the weakest criterion of the lattice — and therefore under every
+    registered criterion.  State is O(processes² x variables) worst case, independent of
+    the run length, which is what makes unbounded (``keep_history=False``)
+    sessions possible.
+    """
+
+    def __init__(self, real_time: bool = False) -> None:
+        self._real_time = real_time
+        # (reader, variable) -> {writer process -> highest write index observed}
+        self._observed: Dict[Tuple[int, str], Dict[int, int]] = {}
+        # variable -> write with the latest completion time seen so far
+        self._last_completed_write: Dict[str, Operation] = {}
+
+    def observe(self, op: Operation, source: Optional[Operation]) -> List[str]:
+        """Account for ``op``; return the violations it proves (usually none)."""
+        violations: List[str] = []
+        if op.is_write:
+            frontier = self._observed.setdefault((op.process, op.variable), {})
+            prev = frontier.get(op.process, -1)
+            frontier[op.process] = max(prev, op.index)
+            if self._real_time and op.completed_at is not None:
+                last = self._last_completed_write.get(op.variable)
+                if last is None or last.completed_at < op.completed_at:
+                    self._last_completed_write[op.variable] = op
+            return violations
+
+        frontier = self._observed.setdefault((op.process, op.variable), {})
+        if source is None:
+            if frontier:
+                violations.append(
+                    f"{op.label()} returns ⊥ after p{op.process} already "
+                    f"observed a write on {op.variable}"
+                )
+        else:
+            seen = frontier.get(source.process, -1)
+            if source.index < seen:
+                violations.append(
+                    f"{op.label()} reads write #{source.index} of "
+                    f"p{source.process} on {op.variable} after p{op.process} "
+                    f"already observed write #{seen} of the same process"
+                )
+            frontier[source.process] = max(seen, source.index)
+        if self._real_time and op.invoked_at is not None:
+            last = self._last_completed_write.get(op.variable)
+            stale = (
+                last is not None
+                and last.completed_at < op.invoked_at
+                and last is not source
+                and (source is None
+                     or (source.completed_at is not None
+                         and last.invoked_at is not None
+                         and source.completed_at < last.invoked_at))
+            )
+            if stale:
+                got = "⊥" if source is None else source.label()
+                violations.append(
+                    f"{op.label()} returns {got} although {last.label()} "
+                    f"completed before the read was invoked (real time)"
+                )
+        return violations
+
+
+# ---------------------------------------------------------------------------
+# The incremental protocol
+# ---------------------------------------------------------------------------
+
+class IncrementalChecker(abc.ABC):
+    """Streaming counterpart of :class:`~repro.core.consistency.base.ConsistencyChecker`.
+
+    Life cycle: ``start(universe)`` once, ``feed(op, read_from)`` per
+    operation in recording order, ``check_now()`` whenever the caller's
+    :class:`CheckPolicy` says so, ``finalize()`` once at the end of the run.
+    ``feed``/``check_now`` return a :class:`CheckResult` as soon as a
+    violation is *proven* (such early verdicts are exact), else ``None``.
+    """
+
+    #: Criterion name, e.g. ``"pram"``.
+    criterion: str = "abstract"
+
+    @abc.abstractmethod
+    def start(self, universe: Optional[Tuple[int, ...]] = None) -> None:
+        """Reset the checker for a fresh run over processes ``universe``."""
+
+    @abc.abstractmethod
+    def feed(
+        self, op: Operation, read_from: Optional[Operation] = None
+    ) -> Optional[CheckResult]:
+        """Observe one recorded operation (``read_from`` resolves its writer)."""
+
+    @abc.abstractmethod
+    def check_now(self) -> Optional[CheckResult]:
+        """Run the (polynomial) prefix check on everything fed so far."""
+
+    @abc.abstractmethod
+    def finalize(self) -> CheckResult:
+        """Close the stream and return the definitive result."""
+
+    @property
+    @abc.abstractmethod
+    def ops_fed(self) -> int:
+        """Number of operations observed so far (the early-exit metric)."""
+
+
+class PrefixChecker(IncrementalChecker):
+    """Native incremental checker: stream monitors + prefix bad-pattern checks.
+
+    ``check_now`` materialises the fed prefix as a :class:`History`, builds
+    the criterion's bitset relation and runs the polynomial bad-pattern
+    pre-check on every per-process view — i.e. the batch checker's
+    ``exact=False`` mode, restricted to the prefix.  ``finalize`` does the
+    same over the whole stream, so the verdict is heuristic (``exact=False``)
+    exactly like the batch pre-check's; use :class:`BatchAdapter` when the
+    exact serialization search (and its witnesses) is wanted.
+
+    ``bounded=True`` drops the operation buffer entirely: only the O(1)
+    stream monitors run, the checker's state stays independent of the run
+    length, and ``check_now`` is a no-op.  This is the mode behind
+    ``Session(keep_history=False)``.
+    """
+
+    def __init__(
+        self,
+        checker: ConsistencyChecker,
+        bounded: bool = False,
+        real_time: bool = False,
+    ) -> None:
+        self._checker = checker
+        self.criterion = checker.name
+        self._bounded = bounded
+        self._real_time = real_time
+        self.start()
+
+    # -- protocol ------------------------------------------------------------
+    def start(self, universe: Optional[Tuple[int, ...]] = None) -> None:
+        self._monitors = StreamMonitors(real_time=self._real_time)
+        self._ops: Dict[int, List[Operation]] = {
+            pid: [] for pid in (universe or ())
+        }
+        self._read_from: Dict[Operation, Optional[Operation]] = {}
+        self._fed = 0
+        self._violations: List[str] = []
+        self._finalized: Optional[CheckResult] = None
+
+    def feed(
+        self, op: Operation, read_from: Optional[Operation] = None
+    ) -> Optional[CheckResult]:
+        self._fed += 1
+        if not self._bounded:
+            self._ops.setdefault(op.process, []).append(op)
+            if op.is_read:
+                self._read_from[op] = read_from
+        found = self._monitors.observe(op, read_from)
+        if found:
+            self._violations.extend(f"p{op.process}: {v}" for v in found)
+            return self._result_so_far()
+        return None
+
+    def check_now(self) -> Optional[CheckResult]:
+        if self._bounded:
+            return self._result_so_far() if self._violations else None
+        result = self._prefix_check(exact=False)
+        if not result.consistent:
+            for violation in result.violations:
+                if violation not in self._violations:
+                    self._violations.append(violation)
+            return self._result_so_far()
+        return self._result_so_far() if self._violations else None
+
+    def finalize(self) -> CheckResult:
+        if self._finalized is None:
+            self._finalized = self._final_check()
+        return self._finalized
+
+    @property
+    def ops_fed(self) -> int:
+        return self._fed
+
+    # -- internals -----------------------------------------------------------
+    def _result_so_far(self) -> CheckResult:
+        # A violation proven on a prefix is exact whatever mode we run in.
+        return CheckResult(
+            criterion=self.criterion,
+            consistent=False,
+            exact=True,
+            violations=list(self._violations),
+        )
+
+    def _prefix_history(self) -> Tuple[History, Dict[Operation, Optional[Operation]]]:
+        return History(self._ops), dict(self._read_from)
+
+    def _prefix_check(self, exact: bool, **kwargs: Any) -> CheckResult:
+        history, read_from = self._prefix_history()
+        return self._checker.check(history, read_from=read_from, exact=exact, **kwargs)
+
+    def _merged_full_violations(self) -> CheckResult:
+        """Collect-all closure: one last polynomial sweep over the whole
+        stream, merged with everything the monitors/periodic checks found.
+        The history is already proven inconsistent, so no exact search is
+        ever needed here."""
+        result = self._prefix_check(exact=False)
+        merged = list(self._violations)
+        for violation in result.violations:
+            if violation not in merged:
+                merged.append(violation)
+        return CheckResult(
+            criterion=self.criterion,
+            consistent=False,
+            exact=True,
+            violations=merged,
+        )
+
+    def _final_check(self) -> CheckResult:
+        if self._bounded:
+            if self._violations:
+                return self._result_so_far()
+            # Nothing buffered: the monitors' silence is all we can certify.
+            return CheckResult(
+                criterion=self.criterion, consistent=True, exact=False
+            )
+        if self._violations:
+            return self._merged_full_violations()
+        return self._prefix_check(exact=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "bounded" if self._bounded else "buffering"
+        return (
+            f"<{type(self).__name__} criterion={self.criterion!r} "
+            f"{mode} fed={self._fed}>"
+        )
+
+
+class BatchAdapter(PrefixChecker):
+    """Incremental adapter over a batch checker's exact serialization search.
+
+    Streams like :class:`PrefixChecker` (monitors + polynomial prefix
+    checks), but ``finalize`` runs the wrapped checker's full ``check`` with
+    the configured ``exact`` mode, so the result — verdict *and* witness
+    serializations — is byte-identical with what the offline batch API
+    returns for the same history and read-from mapping.
+    """
+
+    def __init__(
+        self,
+        checker: ConsistencyChecker,
+        exact: bool = True,
+        real_time: bool = False,
+    ) -> None:
+        self._exact = exact
+        self._pool: Optional[Any] = None
+        super().__init__(checker, bounded=False, real_time=real_time)
+
+    def set_pool(self, pool: Optional[Any]) -> None:
+        """Worker pool forwarded to per-process checkers at finalize time."""
+        self._pool = pool
+
+    def _final_check(self) -> CheckResult:
+        if self._violations:
+            return self._merged_full_violations()
+        kwargs: Dict[str, Any] = {}
+        if self._pool is not None and isinstance(self._checker, PerProcessChecker):
+            kwargs["pool"] = self._pool
+        return self._prefix_check(exact=self._exact, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Factory
+# ---------------------------------------------------------------------------
+
+def incremental_checker(
+    criterion: str,
+    exact: bool = True,
+    bounded: bool = False,
+) -> IncrementalChecker:
+    """Build the right incremental checker for ``criterion``.
+
+    ``bounded=True`` returns a constant-memory :class:`PrefixChecker` (stream
+    monitors only).  Otherwise ``exact=True`` returns a :class:`BatchAdapter`
+    (exact serialization search at finalize) and ``exact=False`` the purely
+    polynomial :class:`PrefixChecker`.
+    """
+    from .registry import all_checkers  # local import: registry imports base too
+
+    checkers = all_checkers()
+    if criterion not in checkers:
+        raise UnknownCriterionError(
+            f"unknown consistency criterion {criterion!r}; known: {sorted(checkers)}"
+        )
+    real_time = criterion == "atomic"
+    checker = checkers[criterion]
+    if bounded:
+        return PrefixChecker(checker, bounded=True, real_time=real_time)
+    if exact:
+        return BatchAdapter(checker, exact=True, real_time=real_time)
+    return PrefixChecker(checker, bounded=False, real_time=real_time)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
+from ...exceptions import UnknownCriterionError
 from .atomic import AtomicChecker
 from .base import ConsistencyChecker
 from .criteria import (
@@ -82,11 +83,16 @@ def all_checkers() -> Dict[str, ConsistencyChecker]:
 
 
 def get_checker(name: str) -> ConsistencyChecker:
-    """Return a checker by criterion name (see :data:`CRITERIA` for spellings)."""
+    """Return a checker by criterion name (see :data:`CRITERIA` for spellings).
+
+    Raises :class:`~repro.exceptions.UnknownCriterionError` (a
+    :class:`KeyError` subclass, so historical callers keep working) for
+    unregistered names.
+    """
     checkers = all_checkers()
     try:
         return checkers[name]
     except KeyError as exc:
-        raise KeyError(
+        raise UnknownCriterionError(
             f"unknown consistency criterion {name!r}; known: {sorted(checkers)}"
         ) from exc

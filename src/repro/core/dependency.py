@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..exceptions import DependencyChainError
 from .distribution import VariableDistribution
 from .history import History
 from .operations import Operation
@@ -98,7 +99,9 @@ def generating_relation(criterion: str, history: History,
         return full_program_order(history).union(
             read_from_order(history, rf), name="pram-gen"
         )
-    raise ValueError(f"unsupported criterion for dependency chains: {criterion!r}")
+    raise DependencyChainError(
+        f"unsupported criterion for dependency chains: {criterion!r}"
+    )
 
 
 def _collapse_processes(path: Sequence[Operation]) -> Tuple[int, ...]:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..exceptions import RelationDomainError
 from .history import History
 from .operations import Operation
 
@@ -67,7 +68,9 @@ class Relation:
         i = self._index.get(first)
         j = self._index.get(second)
         if i is None or j is None:
-            raise KeyError("both operations must belong to the relation's universe")
+            raise RelationDomainError(
+                "both operations must belong to the relation's universe"
+            )
         if i == j:
             return
         if not (self._succ[i] >> j) & 1:

@@ -17,6 +17,17 @@ class ModelError(ReproError):
     """A shared-memory model object (operation, history, relation) is malformed."""
 
 
+class RelationDomainError(ModelError, KeyError):
+    """A relation was queried or extended with operations outside its universe.
+
+    Also a :class:`KeyError` so that pre-existing callers catching the ad-hoc
+    ``KeyError`` keep working while new code can catch :class:`ModelError`.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message
+        return Exception.__str__(self)
+
+
 class AmbiguousReadFromError(ModelError):
     """The read-from relation cannot be inferred because written values collide.
 
@@ -61,5 +72,51 @@ class LivelockError(SimulationError):
     """An application program did not terminate within the configured step budget."""
 
 
-class ConsistencyCheckError(ReproError):
+class ProtocolConfigError(ProtocolError, ValueError):
+    """A protocol was constructed with an invalid option.
+
+    Also a :class:`ValueError` for backwards compatibility with the ad-hoc
+    raises this class replaced.
+    """
+
+
+class CheckError(ReproError):
+    """Base class of every consistency-checking failure."""
+
+
+class ConsistencyCheckError(CheckError):
     """A consistency checker was invoked with inputs it cannot handle."""
+
+
+class UnknownCriterionError(CheckError, KeyError):
+    """A consistency criterion name is not registered.
+
+    Also a :class:`KeyError` for backwards compatibility with the registry's
+    historical behaviour.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message
+        return Exception.__str__(self)
+
+
+class WitnessError(CheckError, KeyError):
+    """A witness serialization was requested but none was recorded.
+
+    Also a :class:`KeyError` for backwards compatibility with
+    :meth:`repro.core.consistency.base.CheckResult.witness`.
+    """
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class DependencyChainError(CheckError, ValueError):
+    """The dependency-chain analysis was asked about an unsupported criterion."""
+
+
+class SessionError(ReproError):
+    """A streaming :class:`repro.api.Session` was misused (re-run, bad input...)."""
+
+
+class RecorderStateError(ReproError):
+    """A :class:`repro.mcs.recorder.HistoryRecorder` was asked for state it does not keep."""

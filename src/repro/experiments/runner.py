@@ -1,15 +1,14 @@
 """Batch execution of scenario suites: expand, cache-check, run, aggregate.
 
 The runner turns declarative :class:`~repro.experiments.spec.ScenarioSpec`
-objects into :class:`ScenarioRecord` results.  For every expanded point it
-
-1. builds the variable distribution and the scripted workload,
-2. replays the script through a fresh :class:`repro.mcs.MCSystem` over the
-   discrete-event network simulator,
-3. checks the recorded history against the consistency criterion the protocol
-   claims to implement (:data:`repro.mcs.PROTOCOL_CRITERION`),
-4. derives the Section 3.3 efficiency report and the Theorem 1 relevance
-   accounting from the run's network statistics.
+objects into :class:`ScenarioRecord` results.  Every expanded point is
+executed through the streaming :class:`repro.api.Session` facade, which owns
+the whole pipeline — distribution, scripted workload, protocol system over
+the discrete-event simulator, history recorder, incremental consistency
+checkers for the criterion the protocol claims
+(:data:`repro.mcs.PROTOCOL_CRITERION`) — and hands back one
+:class:`~repro.api.RunReport` carrying the verdict, the Section 3.3
+efficiency report and the Theorem 1 relevance accounting.
 
 Results are memoised through :class:`~repro.experiments.cache.ResultCache`
 (content-hash keyed, see :mod:`repro.experiments.cache`) and independent
@@ -25,11 +24,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from ..core.consistency import get_checker
-from ..core.consistency.base import PerProcessChecker
-from ..mcs.metrics import relevance_violations
-from ..mcs.system import PROTOCOL_CRITERION, MCSystem
-from ..workloads.access_patterns import run_script
+from ..mcs.system import PROTOCOL_CRITERION
 from .cache import ResultCache
 from .spec import ScenarioPoint, ScenarioSpec
 
@@ -116,32 +111,27 @@ class SuiteResult:
 def run_point(point: ScenarioPoint, pool: Optional[Any] = None) -> ScenarioRecord:
     """Execute one scenario point end-to-end and build its record.
 
-    ``pool`` (a ``multiprocessing.Pool`` or compatible) is forwarded to
-    per-process consistency checkers so the independent per-process
-    serialization searches of one check fan out over the workers; it is only
-    passed when :func:`run_suite` executes points in the parent process.
+    The point runs through one streaming :class:`repro.api.Session`; ``pool``
+    (a ``multiprocessing.Pool`` or compatible) is forwarded to per-process
+    consistency checkers so the independent per-process serialization
+    searches of one check fan out over the workers; it is only passed when
+    :func:`run_suite` executes points in the parent process.
     """
+    from ..api import Session  # local import: repro.api builds on this package
+
     started = time.perf_counter()
-    distribution = point.distribution.build(seed=point.seed)
-    script = point.workload.build(distribution, seed=point.seed)
-    system = MCSystem(distribution, protocol=point.protocol)
-    run_script(system, script)
-    report = system.efficiency()
+    session = Session(
+        protocol=point.protocol,
+        distribution=point.distribution,
+        workload=point.workload,
+        seed=point.seed,
+        check=point.check_consistency,
+        exact=point.exact,
+        pool=pool,
+    )
+    report = session.run()
     criterion = PROTOCOL_CRITERION[point.protocol]
-    consistent: Optional[bool] = None
-    exact = point.exact
-    if point.check_consistency:
-        history = system.history()
-        checker = get_checker(criterion)
-        kwargs: Dict[str, Any] = {}
-        if pool is not None and isinstance(checker, PerProcessChecker):
-            kwargs["pool"] = pool
-        result = checker.check(
-            history, read_from=system.read_from(), exact=point.exact, **kwargs
-        )
-        consistent = result.consistent
-        exact = result.exact
-    violations = relevance_violations(report, distribution)
+    efficiency = report.efficiency
     return ScenarioRecord(
         scenario=point.scenario,
         suite=point.suite,
@@ -152,18 +142,18 @@ def run_point(point: ScenarioPoint, pool: Optional[Any] = None) -> ScenarioRecor
         workload=point.workload.pattern,
         params={**point.distribution.params, **point.workload.params},
         criterion=criterion,
-        consistent=consistent,
-        exact=exact,
-        processes=report.processes,
-        variables=report.variables,
-        operations=len(script),
-        messages=report.messages_sent,
-        payload_bytes=report.payload_bytes,
-        control_bytes=report.control_bytes,
-        control_bytes_per_message=report.control_bytes_per_message,
-        irrelevant_messages=report.irrelevant_messages,
-        irrelevant_fraction=report.irrelevant_message_fraction,
-        relevance_violations=sum(len(v) for v in violations.values()),
+        consistent=report.consistent,
+        exact=report.exact if point.check_consistency else point.exact,
+        processes=efficiency.processes,
+        variables=efficiency.variables,
+        operations=report.operations_total,
+        messages=efficiency.messages_sent,
+        payload_bytes=efficiency.payload_bytes,
+        control_bytes=efficiency.control_bytes,
+        control_bytes_per_message=efficiency.control_bytes_per_message,
+        irrelevant_messages=efficiency.irrelevant_messages,
+        irrelevant_fraction=efficiency.irrelevant_message_fraction,
+        relevance_violations=report.relevance_violations,
         elapsed_s=time.perf_counter() - started,
         cached=False,
     )

@@ -35,7 +35,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.distribution import VariableDistribution
 from ..core.share_graph import ShareGraph
-from ..exceptions import ProtocolError
+from ..exceptions import ProtocolConfigError, ProtocolError
 from ..netsim.message import Message
 from ..netsim.network import Network
 from .base import MCSProcess
@@ -61,7 +61,9 @@ class CausalPartialReplication(MCSProcess):
     ):
         super().__init__(pid, distribution, network, recorder)
         if relay_scope not in RELAY_SCOPES:
-            raise ValueError(f"relay_scope must be one of {RELAY_SCOPES}, got {relay_scope!r}")
+            raise ProtocolConfigError(
+                f"relay_scope must be one of {RELAY_SCOPES}, got {relay_scope!r}"
+            )
         self.relay_scope = relay_scope
         self._share_graph = share_graph
         #: Write identifiers applied locally (writes on replicated variables).

@@ -9,28 +9,90 @@ distributed Bellman-Ford writes the same distance repeatedly, so value-based
 inference would be ambiguous).  The recorded :class:`~repro.core.History` and
 its read-from mapping are what the consistency checkers are applied to in the
 integration tests and benchmarks.
+
+Streaming consumers (the incremental checkers behind :class:`repro.api.Session`)
+do not want to wait for the run to finish: :meth:`HistoryRecorder.subscribe`
+registers a listener that observes every operation *as it is recorded*, in
+recording order (which extends every process' program order), together with
+the resolved source write of each read.  With ``keep_history=False`` the
+recorder stops buffering the per-process operation lists entirely — listeners
+are then the only consumers and memory no longer grows with the number of
+reads (only the write table needed to resolve read sources is kept), which is
+what long-horizon monitoring sessions rely on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.history import History
 from ..core.operations import BOTTOM, Operation, OpKind
+from ..exceptions import RecorderStateError
 
 WriteId = Tuple[int, int]
+
+#: A recording listener: ``(operation, source write or None)``.  For writes the
+#: source is always ``None``; for reads it is the resolved writer operation.
+RecordListener = Callable[[Operation, Optional[Operation]], None]
 
 
 @dataclass
 class HistoryRecorder:
     """Collects operations and read-from evidence from a protocol run."""
 
+    keep_history: bool = True
     _ops: Dict[int, List[Operation]] = field(default_factory=dict)
     _write_ops: Dict[WriteId, Operation] = field(default_factory=dict)
     _read_sources: Dict[int, Optional[WriteId]] = field(default_factory=dict)
+    _counts: Dict[int, int] = field(default_factory=dict)
+    _total: int = 0
+    _log: List[Tuple[Operation, Optional[Operation]]] = field(default_factory=list)
+    _listeners: Tuple[RecordListener, ...] = ()
+
+    # -- subscription ------------------------------------------------------------
+    def subscribe(self, listener: RecordListener, replay: bool = False) -> None:
+        """Register ``listener`` for every subsequently recorded operation.
+
+        Listeners are invoked synchronously at record time, in recording
+        order — the global delivery order of the run, which restricted to any
+        process is exactly its program order.  A listener registered mid-run
+        sees only subsequent operations unless ``replay`` is ``True``, in
+        which case the already-recorded stream is replayed to it first (in
+        the same recording order), so late subscribers cannot observe a
+        permuted stream.  Replay requires ``keep_history=True``.
+
+        The listener tuple is replaced, not mutated, so subscribing from
+        within a listener callback (or any notification in progress) can
+        never disturb an ongoing iteration.
+        """
+        if replay:
+            if not self.keep_history:
+                raise RecorderStateError(
+                    "cannot replay past operations: recorder runs with "
+                    "keep_history=False and buffers nothing"
+                )
+            for op, source in self._log:
+                listener(op, source)
+        self._listeners = self._listeners + (listener,)
+
+    def unsubscribe(self, listener: RecordListener) -> None:
+        """Remove ``listener``; unknown listeners are ignored."""
+        self._listeners = tuple(l for l in self._listeners if l is not listener)
+
+    def _notify(self, op: Operation, source: Optional[Operation]) -> None:
+        if self.keep_history:
+            self._log.append((op, source))
+        for listener in self._listeners:  # snapshot tuple: mutation-safe
+            listener(op, source)
 
     # -- recording ---------------------------------------------------------------
+    def _next_index(self, process: int) -> int:
+        index = self._counts.get(process, 0)
+        self._counts[process] = index + 1
+        self._total += 1
+        return index
+
     def record_write(
         self,
         process: int,
@@ -41,18 +103,19 @@ class HistoryRecorder:
         completed_at: Optional[float] = None,
     ) -> Operation:
         """Record a write operation and remember its protocol-level identifier."""
-        seq = self._ops.setdefault(process, [])
         op = Operation(
             OpKind.WRITE,
             process,
             variable,
             value,
-            index=len(seq),
+            index=self._next_index(process),
             invoked_at=invoked_at,
             completed_at=completed_at,
         )
-        seq.append(op)
+        if self.keep_history:
+            self._ops.setdefault(process, []).append(op)
         self._write_ops[write_id] = op
+        self._notify(op, None)
         return op
 
     def record_read(
@@ -65,35 +128,57 @@ class HistoryRecorder:
         completed_at: Optional[float] = None,
     ) -> Operation:
         """Record a read operation together with the write it returned."""
-        seq = self._ops.setdefault(process, [])
         op = Operation(
             OpKind.READ,
             process,
             variable,
             value,
-            index=len(seq),
+            index=self._next_index(process),
             invoked_at=invoked_at,
             completed_at=completed_at,
         )
-        seq.append(op)
-        self._read_sources[op.uid] = source
+        if self.keep_history:
+            self._ops.setdefault(process, []).append(op)
+            self._read_sources[op.uid] = source
+        source_op = self._write_ops.get(source) if source is not None else None
+        self._notify(op, source_op)
         return op
 
     def declare_process(self, process: int) -> None:
         """Ensure ``process`` appears in the history even with no operations."""
         self._ops.setdefault(process, [])
+        self._counts.setdefault(process, 0)
 
     # -- extraction -----------------------------------------------------------------
+    def _require_history(self, what: str) -> None:
+        if not self.keep_history:
+            raise RecorderStateError(
+                f"recorder runs with keep_history=False and cannot produce "
+                f"{what}; subscribe a listener instead"
+            )
+
     def history(self) -> History:
         """The recorded history."""
+        self._require_history("a History")
         return History(self._ops)
 
+    def log(self) -> Tuple[Tuple[Operation, Optional[Operation]], ...]:
+        """The ``(operation, source)`` stream in recording (delivery) order."""
+        self._require_history("the recording log")
+        return tuple(self._log)
+
+    @property
+    def processes(self) -> Tuple[int, ...]:
+        """Every process that declared itself or recorded an operation."""
+        return tuple(sorted(self._counts))
+
     def operation_count(self) -> int:
-        """Total number of recorded operations."""
-        return sum(len(v) for v in self._ops.values())
+        """Total number of recorded operations (kept even without history)."""
+        return self._total
 
     def read_from(self) -> Dict[Operation, Optional[Operation]]:
         """The exact read-from mapping of the run (protocol ground truth)."""
+        self._require_history("the read-from mapping")
         mapping: Dict[Operation, Optional[Operation]] = {}
         for pid, ops in self._ops.items():
             for op in ops:

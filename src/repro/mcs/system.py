@@ -63,6 +63,7 @@ class MCSystem:
         fifo: bool = True,
         record_trace: bool = False,
         protocol_options: Optional[Dict[str, Any]] = None,
+        recorder: Optional[HistoryRecorder] = None,
     ):
         if protocol not in PROTOCOLS:
             raise ProtocolError(f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}")
@@ -75,7 +76,7 @@ class MCSystem:
             fifo=fifo,
             record_trace=record_trace,
         )
-        self.recorder = HistoryRecorder()
+        self.recorder = recorder if recorder is not None else HistoryRecorder()
         options = dict(protocol_options or {})
         if protocol == "causal_partial" and "share_graph" not in options:
             options["share_graph"] = ShareGraph(distribution)

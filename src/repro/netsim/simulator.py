@@ -8,10 +8,13 @@ queue drains, a time horizon is reached or an event budget is exhausted.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from ..exceptions import SimulationError
 from .events import Event, EventQueue
+
+#: An event listener: called with ``(event,)`` after the event's callback ran.
+EventListener = Callable[[Event], None]
 
 
 class Simulator:
@@ -21,6 +24,23 @@ class Simulator:
         self._queue = EventQueue()
         self._now = 0.0
         self._processed = 0
+        self._listeners: Tuple[EventListener, ...] = ()
+
+    # -- observation -----------------------------------------------------------
+    def subscribe(self, listener: EventListener) -> None:
+        """Observe every event *after* its callback executed.
+
+        The listener tuple is replaced, never mutated, so a listener may be
+        registered mid-run — even from inside an executing event callback or
+        another listener — without perturbing the notification in progress:
+        it only starts receiving *subsequent* events, in execution (delivery)
+        order.
+        """
+        self._listeners = self._listeners + (listener,)
+
+    def unsubscribe(self, listener: EventListener) -> None:
+        """Remove ``listener``; unknown listeners are ignored."""
+        self._listeners = tuple(l for l in self._listeners if l is not listener)
 
     # -- clock ----------------------------------------------------------------
     @property
@@ -61,7 +81,13 @@ class Simulator:
             raise SimulationError("event queue yielded an event from the past")
         self._now = event.time
         self._processed += 1
+        # Snapshot before the callback: a listener registered *during* this
+        # event (by the callback or by another listener) only observes
+        # subsequent events, never a half-executed current one.
+        listeners = self._listeners
         event.callback()
+        for listener in listeners:
+            listener(event)
         return True
 
     def run(

@@ -85,17 +85,22 @@ def single_writer_script(
     return script
 
 
-def run_script(
+def drive_script(
     system: MCSystem,
     script: Sequence[Access],
     settle_every: int = 1,
     max_retries: int = 1_000,
-) -> None:
-    """Replay a script against a system, letting the network advance in between.
+):
+    """Drive a script one access at a time, yielding ``(index, access)`` after each.
 
+    This is the single per-operation drive loop shared by :func:`run_script`
+    and the streaming :class:`repro.api.Session` (which interleaves
+    consistency checks between operations and may stop consuming early).
     Blocking reads (sequencer-based protocol) are retried after advancing the
-    simulation; ``max_retries`` guards against protocol deadlocks.
+    simulation; ``max_retries`` guards against protocol deadlocks.  The final
+    :meth:`~repro.mcs.MCSystem.settle` is the caller's job.
     """
+    simulator = system.simulator
     for idx, access in enumerate(script):
         process = system.process(access.process)
         if access.kind == "write":
@@ -110,9 +115,22 @@ def run_script(
                     retries += 1
                     if retries > max_retries:
                         raise
-                    system.simulator.run(until=system.simulator.now + 1.0)
+                    simulator.run(until=simulator.now + 1.0)
         if settle_every and (idx + 1) % settle_every == 0:
-            system.simulator.run(until=system.simulator.now + 0.25)
+            simulator.run(until=simulator.now + 0.25)
+        yield idx, access
+
+
+def run_script(
+    system: MCSystem,
+    script: Sequence[Access],
+    settle_every: int = 1,
+    max_retries: int = 1_000,
+) -> None:
+    """Replay a whole script against a system, then settle the network."""
+    for _ in drive_script(system, script, settle_every=settle_every,
+                          max_retries=max_retries):
+        pass
     system.settle()
 
 

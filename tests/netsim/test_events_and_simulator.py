@@ -173,3 +173,89 @@ class TestSimulator:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.processed_events == 3
+
+
+class TestSimulatorListeners:
+    def test_listeners_observe_events_in_execution_order(self):
+        sim = Simulator()
+        executed, observed = [], []
+        sim.subscribe(lambda event: observed.append(event.time))
+        sim.schedule(2.0, lambda: executed.append(2.0))
+        sim.schedule(1.0, lambda: executed.append(1.0))
+        sim.run()
+        assert executed == [1.0, 2.0]
+        assert observed == [1.0, 2.0]
+
+    def test_listener_registered_mid_run_sees_only_subsequent_events(self):
+        sim = Simulator()
+        late = []
+
+        def register():
+            sim.subscribe(lambda event: late.append(event.time))
+
+        sim.schedule(1.0, register)
+        sim.schedule(2.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        # The event that performed the registration is not delivered to the
+        # new listener; the subsequent ones are, in delivery order.
+        assert late == [2.0, 3.0]
+
+    def test_unsubscribe_mid_run(self):
+        sim = Simulator()
+        seen = []
+        listener = lambda event: seen.append(event.time)  # noqa: E731
+        sim.subscribe(listener)
+        sim.schedule(1.0, lambda: sim.unsubscribe(listener))
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        # The unsubscribing event itself is still observed (snapshot taken
+        # before its callback ran), later events are not.
+        assert seen == [1.0]
+
+
+class TestRecordingCallbacksUnderReordering:
+    """Regression: recording callbacks registered mid-run must observe
+    operations in delivery order, even when the network delivers messages
+    out of send order (non-FIFO channels, inverted latencies)."""
+
+    def test_mid_run_recorder_subscription_sees_delivery_order(self):
+        from repro.core.distribution import VariableDistribution
+        from repro.mcs.system import MCSystem
+        from repro.netsim.latency import LatencyModel
+
+        class InvertedLatency(LatencyModel):
+            """Later sends arrive earlier: maximal reordering pressure."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def sample(self, src, dst):
+                self.calls += 1
+                return max(0.5, 10.0 - self.calls * 2.0)
+
+        dist = VariableDistribution({0: {"x", "y"}, 1: {"x", "y"}, 2: {"x", "y"}})
+        system = MCSystem(dist, protocol="pram_partial",
+                          latency=InvertedLatency(), fifo=False)
+        from_start, late = [], []
+        system.recorder.subscribe(lambda op, src: from_start.append(op))
+
+        p0 = system.process(0)
+        p0.write("x", "a")
+        p0.write("y", "b")
+        p0.write("x", "c")
+        # Subscribe mid-run, while deliveries are still in flight and will
+        # arrive out of send order.
+        system.recorder.subscribe(lambda op, src: late.append(op))
+        system.settle()
+        system.process(1).read("x")
+        system.process(2).read("y")
+        system.settle()
+
+        # The late listener saw exactly the suffix of the recording stream,
+        # in the same (delivery) order the from-start listener saw it.
+        assert late == from_start[len(from_start) - len(late):]
+        # And a replaying subscriber reconstructs the full stream.
+        replayed = []
+        system.recorder.subscribe(lambda op, src: replayed.append(op), replay=True)
+        assert replayed == from_start

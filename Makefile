@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-checkers bench-checkers-baseline bench-streaming experiments experiments-smoke clean-cache
+.PHONY: test bench bench-checkers bench-checkers-baseline bench-streaming experiments experiments-smoke faults clean-cache
 
 # Tier-1 verification (the command ROADMAP.md records).
 test:
@@ -37,9 +37,16 @@ bench-streaming:
 experiments-smoke:
 	$(PYTHON) -m repro experiments run --scenario figure2-hoop --no-cache
 
-# The full scenario suite (paper + stress), fanned out and cached.
+# The full scenario suite (paper + stress + faults), fanned out and cached.
 experiments:
 	$(PYTHON) -m repro experiments run --suite all --workers 4
+
+# Fault-injection gate: every faults-suite verdict must match its
+# expectation — the hardened protocols stay consistent under loss/partition/
+# crash/duplication, and the scripted violation scenarios must keep being
+# *proven* inconsistent by the incremental checkers (exit 1 otherwise).
+faults:
+	$(PYTHON) -m repro experiments run --suite faults --no-cache
 
 clean-cache:
 	rm -rf .repro-cache

@@ -44,6 +44,20 @@ the facade and incremental-checker reference.
 """
 
 from .api import CheckPolicy, RunReport, Session
+from .spec import (
+    CheckSpec,
+    DistributionSpec,
+    NetworkSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    register_distribution,
+    register_network_model,
+    register_protocol,
+    register_topology,
+    register_workload,
+)
 from .core import (
     BOTTOM,
     History,
@@ -65,8 +79,20 @@ from .version import __version__
 __all__ = [
     "BOTTOM",
     "CheckPolicy",
+    "CheckSpec",
     "DSMRuntime",
     "DistributedSharedMemory",
+    "DistributionSpec",
+    "NetworkSpec",
+    "ProtocolSpec",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "register_distribution",
+    "register_network_model",
+    "register_protocol",
+    "register_topology",
+    "register_workload",
     "History",
     "HistoryBuilder",
     "Hoop",

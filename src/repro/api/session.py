@@ -28,21 +28,37 @@ from ..core.consistency.incremental import (
 from ..core.distribution import VariableDistribution
 from ..core.history import History
 from ..core.operations import Operation
-from ..exceptions import ProtocolError, SessionError
+from ..exceptions import SessionError
 from ..mcs.metrics import EfficiencyReport, relevance_violations
 from ..mcs.recorder import HistoryRecorder
-from ..mcs.system import PROTOCOL_CRITERION, PROTOCOLS, MCSystem
+from ..mcs.system import MCSystem
 from ..netsim.latency import LatencyModel
+from ..netsim.models import NetworkModel
+from ..spec.registry import resolve_protocol
+from ..spec.scenario import (
+    DistributionSpec,
+    NetworkSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
 from ..workloads.access_patterns import Access, drive_script
+
+#: What ``Session(protocol=...)`` accepts: a registry name or a typed spec.
+ProtocolLike = Union[str, ProtocolSpec]
 
 #: What ``Session(distribution=...)`` accepts: a concrete distribution, a
 #: declarative spec, or a ``(family, params)`` pair resolved through the
-#: experiment spec layer.
-DistributionLike = Union[VariableDistribution, "DistributionSpec", Tuple[str, Mapping[str, Any]], str]
+#: spec layer.
+DistributionLike = Union[VariableDistribution, DistributionSpec, Tuple[str, Mapping[str, Any]], str]
 
 #: What ``Session(workload=...)`` accepts: a concrete access script, a
 #: declarative spec, or a ``(pattern, params)`` pair.
-WorkloadLike = Union[Sequence[Access], "WorkloadSpec", Tuple[str, Mapping[str, Any]], str]
+WorkloadLike = Union[Sequence[Access], WorkloadSpec, Tuple[str, Mapping[str, Any]], str]
+
+#: What ``Session(network=...)`` accepts: a typed spec, a concrete model, a
+#: model name, or a ``(model, params)`` pair.
+NetworkLike = Union[NetworkSpec, NetworkModel, Tuple[str, Mapping[str, Any]], str]
 
 
 @dataclass
@@ -75,6 +91,11 @@ class RunReport:
     elapsed_s: float = 0.0
     history: Optional[History] = None
     read_from: Optional[Dict[Operation, Optional[Operation]]] = None
+    network_model: str = "reliable"
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    drops_by_reason: Dict[str, int] = field(default_factory=dict)
+    partition_windows: Tuple[Tuple[float, float], ...] = ()
 
     def __bool__(self) -> bool:
         return self.consistent is not False
@@ -114,6 +135,20 @@ class RunReport:
             lines.append(f"messages sent       : {self.efficiency.messages_sent}")
             lines.append(f"control bytes       : {self.efficiency.control_bytes}")
             lines.append(f"irrelevant messages : {self.efficiency.irrelevant_messages}")
+        if self.network_model != "reliable" or self.messages_dropped \
+                or self.messages_duplicated:
+            lines.append(f"network model       : {self.network_model}")
+            dropped = f"messages dropped    : {self.messages_dropped}"
+            if self.drops_by_reason:
+                reasons = ", ".join(f"{reason}: {count}" for reason, count
+                                    in sorted(self.drops_by_reason.items()))
+                dropped += f" ({reasons})"
+            lines.append(dropped)
+            lines.append(f"messages duplicated : {self.messages_duplicated}")
+            if self.partition_windows:
+                windows = ", ".join(f"[{start:g}, {end:g})"
+                                    for start, end in self.partition_windows)
+                lines.append(f"partition windows   : {windows}")
         lines.append(f"elapsed             : {self.elapsed_s:.3f}s")
         return "\n".join(lines)
 
@@ -124,15 +159,24 @@ class Session:
     Parameters
     ----------
     protocol:
-        Name from :data:`repro.mcs.PROTOCOLS`.
+        A name resolved through the protocol plugin registry
+        (:data:`repro.spec.PROTOCOL_REGISTRY`; see
+        :data:`repro.mcs.PROTOCOLS` for the live view) or a
+        :class:`~repro.spec.ProtocolSpec`.
     distribution:
         A :class:`~repro.core.distribution.VariableDistribution`, a
-        :class:`~repro.experiments.spec.DistributionSpec`, a family name, or
-        a ``(family, params)`` pair.
+        :class:`~repro.spec.DistributionSpec`, a family name, or a
+        ``(family, params)`` pair.
     workload:
         A concrete ``Sequence[Access]`` script, a
-        :class:`~repro.experiments.spec.WorkloadSpec`, a pattern name, or a
+        :class:`~repro.spec.WorkloadSpec`, a pattern name, or a
         ``(pattern, params)`` pair.
+    network:
+        A :class:`~repro.spec.NetworkSpec`, a concrete
+        :class:`~repro.netsim.models.NetworkModel`, a model name or a
+        ``(model, params)`` pair — the fault-injection entry point.  When
+        omitted, the legacy ``latency``/``fifo`` arguments configure the
+        plain reliable network exactly as before.
     criteria:
         Criterion name(s) to check incrementally; defaults to the criterion
         the protocol claims (:data:`repro.mcs.PROTOCOL_CRITERION`).  Pass
@@ -157,7 +201,7 @@ class Session:
 
     def __init__(
         self,
-        protocol: str = "pram_partial",
+        protocol: ProtocolLike = "pram_partial",
         distribution: Optional[DistributionLike] = None,
         workload: Optional[WorkloadLike] = None,
         *,
@@ -167,6 +211,7 @@ class Session:
         check_policy: Union[CheckPolicy, str, None] = None,
         exact: bool = True,
         keep_history: bool = True,
+        network: Optional[NetworkLike] = None,
         latency: Optional[LatencyModel] = None,
         fifo: bool = True,
         protocol_options: Optional[Dict[str, Any]] = None,
@@ -174,22 +219,22 @@ class Session:
         settle_every: int = 1,
         max_retries: int = 1_000,
     ) -> None:
-        if protocol not in PROTOCOLS:
-            raise ProtocolError(
-                f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}"
-            )
+        if isinstance(protocol, ProtocolSpec):
+            protocol_options = {**protocol.options, **(protocol_options or {})}
+            protocol = protocol.name
+        component = resolve_protocol(protocol)  # same typed error as MCSystem
         if distribution is None:
             raise SessionError("Session needs a distribution")
         if workload is None:
             raise SessionError("Session needs a workload")
-        self.protocol = protocol
+        self.protocol = component.name
         self.seed = seed
         self.policy = CheckPolicy.parse(check_policy)
         self.exact = exact
         self.keep_history = keep_history
         self._check = check
         if criteria is None:
-            self.criteria: Tuple[str, ...] = (PROTOCOL_CRITERION[protocol],)
+            self.criteria: Tuple[str, ...] = (component.metadata["criterion"],)
         elif isinstance(criteria, str):
             self.criteria = (criteria,)
         else:
@@ -200,14 +245,17 @@ class Session:
 
         self.distribution = self._resolve_distribution(distribution)
         self.script: List[Access] = self._resolve_workload(workload)
+        model, fifo = self._resolve_network(network, latency, fifo)
+        self.network_model = model
         self.recorder = HistoryRecorder(keep_history=keep_history)
         self.system = MCSystem(
             self.distribution,
-            protocol=protocol,
+            protocol=self.protocol,
             latency=latency,
             fifo=fifo,
             protocol_options=protocol_options,
             recorder=self.recorder,
+            network_model=model,
         )
         self.checkers: Dict[str, IncrementalChecker] = {}
         if check:
@@ -221,12 +269,46 @@ class Session:
                 self.checkers[criterion] = checker
         self._ran = False
 
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Union[ScenarioSpec, Mapping[str, Any]],
+        *,
+        keep_history: bool = True,
+        pool: Optional[Any] = None,
+        settle_every: int = 1,
+        max_retries: int = 1_000,
+    ) -> "Session":
+        """Build a session from one typed :class:`repro.spec.ScenarioSpec`.
+
+        Accepts the spec object or its :meth:`~repro.spec.ScenarioSpec.to_dict`
+        form (e.g. freshly ``json.load``-ed); the spec is validated first, so
+        malformed input fails with a typed
+        :class:`~repro.exceptions.ScenarioSpecError` before anything runs.
+        """
+        if not isinstance(spec, ScenarioSpec):
+            spec = ScenarioSpec.from_dict(spec)
+        spec.validate()
+        return cls(
+            protocol=spec.protocol,
+            distribution=spec.distribution,
+            workload=spec.workload,
+            seed=spec.seed,
+            check=spec.check.enabled,
+            criteria=spec.check.criteria or None,
+            check_policy=spec.check.policy,
+            exact=spec.check.exact,
+            keep_history=keep_history,
+            network=spec.network,
+            pool=pool,
+            settle_every=settle_every,
+            max_retries=max_retries,
+        )
+
     # -- input resolution ----------------------------------------------------
     def _resolve_distribution(self, distribution: DistributionLike) -> VariableDistribution:
         if isinstance(distribution, VariableDistribution):
             return distribution
-        from ..experiments.spec import DistributionSpec
-
         if isinstance(distribution, str):
             distribution = (distribution, {})
         if isinstance(distribution, tuple):
@@ -241,8 +323,6 @@ class Session:
         return distribution.build(seed=self.seed)
 
     def _resolve_workload(self, workload: WorkloadLike) -> List[Access]:
-        from ..experiments.spec import WorkloadSpec
-
         if isinstance(workload, str):
             workload = (workload, {})
         if isinstance(workload, tuple) and len(workload) == 2 and isinstance(workload[0], str):
@@ -257,6 +337,47 @@ class Session:
                 "(pattern, params) pair or a sequence of Access objects"
             )
         return script
+
+    def _resolve_network(
+        self,
+        network: Optional[NetworkLike],
+        latency: Optional[LatencyModel],
+        fifo: bool,
+    ) -> Tuple[Optional[NetworkModel], bool]:
+        """Resolve the network argument to a (model, fifo) pair.
+
+        ``None`` keeps the legacy path (``latency``/``fifo`` forwarded to the
+        plain reliable network) so pre-spec callers behave bit-identically.
+        """
+        if network is None:
+            return None, fifo
+        if latency is not None:
+            raise SessionError(
+                "pass latency inside the network spec/model, not alongside it"
+            )
+        if isinstance(network, NetworkModel):
+            return network, fifo
+        if isinstance(network, str):
+            # a bare name / (name, params) pair carries no QoS of its own, so
+            # the caller's fifo argument still applies
+            network = NetworkSpec(network, fifo=fifo)
+        elif isinstance(network, tuple) and len(network) == 2:
+            model_name, params = network
+            network = NetworkSpec(model_name, dict(params), fifo=fifo)
+        if not isinstance(network, NetworkSpec):
+            raise SessionError(
+                "network must be a NetworkSpec, a NetworkModel, a model name "
+                f"or a (model, params) pair; got {type(network).__name__}"
+            )
+        if not fifo and network.fifo:
+            # mirror the latency conflict above: an explicit fifo=False next
+            # to a FIFO NetworkSpec is a contradiction, not a tie to break
+            raise SessionError(
+                "conflicting QoS: fifo=False was passed alongside a "
+                "NetworkSpec with fifo=True; set fifo on the NetworkSpec"
+            )
+        network.validate()
+        return network.build(seed=self.seed), network.fifo
 
     # -- execution -----------------------------------------------------------
     def run(self, until: Optional[int] = None) -> RunReport:
@@ -317,6 +438,8 @@ class Session:
             self.recorder.unsubscribe(feed)
 
         results = {name: checker.finalize() for name, checker in self.checkers.items()}
+        stats = self.system.stats
+        model = self.network_model
         report = RunReport(
             protocol=self.protocol,
             criteria=self.criteria if self._check else (),
@@ -332,6 +455,12 @@ class Session:
             efficiency=self.system.efficiency(),
             events_processed=simulator.processed_events,
             elapsed_s=time.perf_counter() - started,
+            network_model=model.model_name if model is not None else "reliable",
+            messages_dropped=stats.messages_dropped,
+            messages_duplicated=stats.messages_duplicated,
+            drops_by_reason=dict(stats.drops_by_reason),
+            partition_windows=(model.partition_windows()
+                               if model is not None else ()),
         )
         report.relevance_violations = sum(
             len(v) for v in relevance_violations(report.efficiency, self.distribution).values()

@@ -5,9 +5,15 @@ any Python:
 
 ``run``
     One streaming session through the :class:`repro.api.Session` facade:
-    protocol x distribution x workload with incremental consistency checking
-    (``--check-policy fail_fast`` aborts a violating run at the first proven
-    violation).
+    protocol x distribution x workload x network with incremental consistency
+    checking (``--check-policy fail_fast`` aborts a violating run at the
+    first proven violation).  ``--scenario file.json`` runs a complete typed
+    :class:`repro.spec.ScenarioSpec`; ``--network faulty --net-param
+    drop_rate=0.1`` injects faults from the flags.
+``protocols``
+    The protocol plugin registry (``list``): names, claimed criteria,
+    replication mode and accepted options, including any third-party
+    protocols registered via :func:`repro.spec.register_protocol`.
 ``reproduce``
     Re-evaluate every figure and theorem of the paper and print the
     claim/measured/match summary table.
@@ -58,21 +64,48 @@ def _parse_params(pairs: Optional[Sequence[str]], flag: str) -> dict:
 def _cmd_run(args: argparse.Namespace) -> int:
     from .api import Session
 
-    dist_params = _parse_params(args.dist_param, "--dist-param")
-    if args.distribution == "random" and not dist_params:
-        # the canonical Section 3.3 comparison distribution
-        dist_params = {"processes": 6, "variables": 8, "replicas_per_variable": 3}
-    session = Session(
-        protocol=args.protocol,
-        distribution=(args.distribution, dist_params),
-        workload=(args.workload, _parse_params(args.workload_param, "--workload-param")),
-        seed=args.seed,
-        check=not args.no_check,
-        criteria=args.criterion or None,
-        check_policy=args.check_policy,
-        exact=not args.heuristic,
-        keep_history=not args.no_history,
-    )
+    if args.scenario:
+        from .spec import ScenarioSpec
+
+        try:
+            with open(args.scenario, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read scenario file {args.scenario}: {exc}",
+                  file=sys.stderr)
+            return 2
+        session = Session.from_spec(ScenarioSpec.from_dict(data),
+                                    keep_history=not args.no_history)
+    else:
+        dist_params = _parse_params(args.dist_param, "--dist-param")
+        if args.distribution == "random" and not dist_params:
+            # the canonical Section 3.3 comparison distribution
+            dist_params = {"processes": 6, "variables": 8, "replicas_per_variable": 3}
+        network = None
+        if args.network:
+            network = (args.network, _parse_params(args.net_param, "--net-param"))
+        exact = not args.heuristic
+        if network is not None and args.network != "reliable" \
+                and not args.heuristic and not args.exact:
+            # Fault-injected histories are full of stale reads, the regime
+            # where the exact serialization search blows up; default to the
+            # polynomial pre-check unless the user insists with --exact.
+            exact = False
+            print("note: fault injection active, using the polynomial "
+                  "pre-check (pass --exact to force the exact search)",
+                  file=sys.stderr)
+        session = Session(
+            protocol=args.protocol,
+            distribution=(args.distribution, dist_params),
+            workload=(args.workload, _parse_params(args.workload_param, "--workload-param")),
+            seed=args.seed,
+            check=not args.no_check,
+            criteria=args.criterion or None,
+            check_policy=args.check_policy,
+            exact=exact,
+            keep_history=not args.no_history,
+            network=network,
+        )
     report = session.run(until=args.until)
     print(report.summary())
     if args.verbose and report.history is not None:
@@ -239,6 +272,49 @@ def _cmd_experiments_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_protocols_list(args: argparse.Namespace) -> int:
+    from .analysis.report import render_table
+    from .spec import PROTOCOL_REGISTRY
+
+    rows = [{
+        "protocol": component.name,
+        "criterion": component.metadata.get("criterion", ""),
+        "replication": component.metadata.get("replication", ""),
+        "options": ", ".join(component.params) or "-",
+    } for component in PROTOCOL_REGISTRY.components()]
+    print(render_table(rows, title="Registered protocols"))
+    if args.verbose:
+        print()
+        for component in PROTOCOL_REGISTRY.components():
+            description = component.metadata.get("description", "")
+            print(f"{component.name}: {description}")
+        print()
+        _print_component_registries()
+    return 0
+
+
+def _print_component_registries() -> None:
+    from .spec import (
+        DISTRIBUTION_REGISTRY,
+        NETWORK_MODEL_REGISTRY,
+        TOPOLOGY_REGISTRY,
+        WORKLOAD_REGISTRY,
+    )
+
+    for title, registry in (
+        ("distribution families", DISTRIBUTION_REGISTRY),
+        ("workload patterns", WORKLOAD_REGISTRY),
+        ("topologies", TOPOLOGY_REGISTRY),
+        ("network models", NETWORK_MODEL_REGISTRY),
+    ):
+        print(f"{title}: {', '.join(registry.names())}")
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    handlers = {"list": _cmd_protocols_list}
+    return handlers[args.proto_command](args)
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     handlers = {
         "list": _cmd_experiments_list,
@@ -279,12 +355,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="drive at most this many workload operations")
     run.add_argument("--heuristic", action="store_true",
                      help="skip the exact serialization search at finalize")
+    run.add_argument("--exact", action="store_true",
+                     help="force the exact serialization search even under "
+                          "fault injection (can be very slow on stall-heavy "
+                          "histories)")
     run.add_argument("--no-check", action="store_true",
                      help="execute without consistency checking")
     run.add_argument("--no-history", action="store_true",
                      help="bounded memory: keep no history, stream monitors only")
     run.add_argument("--verbose", action="store_true",
                      help="also print the recorded history")
+    run.add_argument("--scenario", default=None, metavar="FILE",
+                     help="run a ScenarioSpec JSON file (overrides the "
+                          "component flags above)")
+    run.add_argument("--network", default=None,
+                     help="network model name (reliable, faulty, or a plugin)")
+    run.add_argument("--net-param", action="append", default=None, metavar="K=V",
+                     help="network model parameter (repeatable), e.g. "
+                          "drop_rate=0.1 latency=0.5")
 
     sub.add_parser("reproduce", help="re-evaluate every figure and theorem")
 
@@ -306,6 +394,14 @@ def build_parser() -> argparse.ArgumentParser:
     relevance = sub.add_parser("relevance", help="x-relevance scalability study")
     relevance.add_argument("--processes", type=int, nargs="*", default=[4, 6, 8])
     relevance.add_argument("--samples", type=int, default=3)
+
+    protocols = sub.add_parser("protocols",
+                               help="protocol plugin registry (list)")
+    psub = protocols.add_subparsers(dest="proto_command", required=True)
+    proto_list = psub.add_parser("list", help="list the registered protocols")
+    proto_list.add_argument("--verbose", action="store_true",
+                            help="also print descriptions and the other "
+                                 "component registries")
 
     experiments = sub.add_parser("experiments",
                                  help="scenario-suite orchestrator (list/run/report)")
@@ -357,6 +453,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "overhead": _cmd_overhead,
         "bellman-ford": _cmd_bellman_ford,
         "relevance": _cmd_relevance,
+        "protocols": _cmd_protocols,
         "experiments": _cmd_experiments,
     }
     try:

@@ -80,6 +80,46 @@ class ProtocolConfigError(ProtocolError, ValueError):
     """
 
 
+class SpecError(ReproError):
+    """Base class of every typed-specification failure (:mod:`repro.spec`)."""
+
+
+class ScenarioSpecError(SpecError):
+    """A scenario specification is malformed (unknown name, bad parameter...)."""
+
+
+class UnknownComponentError(ScenarioSpecError, KeyError):
+    """A name does not resolve in a component registry.
+
+    Also a :class:`KeyError` so callers treating registries as plain mappings
+    keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message
+        return Exception.__str__(self)
+
+
+class ComponentParamError(ScenarioSpecError, ValueError):
+    """A registered component was given parameters it does not accept."""
+
+
+class UnknownProtocolError(ProtocolConfigError, UnknownComponentError):
+    """A protocol name is not registered.
+
+    Both a :class:`ProtocolConfigError` (the protocol layer's contract — the
+    :class:`~repro.api.Session` facade and :class:`~repro.mcs.MCSystem`
+    raise the *same* typed error for the same mistake) and a
+    :class:`ScenarioSpecError` (the spec layer's contract).
+    """
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class NetworkModelError(SimulationError, ValueError):
+    """A network model was configured with invalid fault/latency parameters."""
+
+
 class CheckError(ReproError):
     """Base class of every consistency-checking failure."""
 

@@ -27,6 +27,7 @@ CLI: ``python -m repro experiments list|run|report``.  Claim-to-scenario
 cross references live in EXPERIMENTS.md at the repository root.
 """
 
+from ..exceptions import ScenarioSpecError
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .registry import REGISTRY, ScenarioRegistry
 from .runner import (
@@ -42,9 +43,10 @@ from .spec import (
     TOPOLOGIES,
     WORKLOAD_PATTERNS,
     DistributionSpec,
+    ExperimentSpec,
+    NetworkSpec,
     ScenarioPoint,
     ScenarioSpec,
-    ScenarioSpecError,
     WorkloadSpec,
     build_topology,
 )
@@ -52,6 +54,8 @@ from .suites import builtin_scenarios, register_builtin_scenarios
 
 __all__ = [
     "CACHE_VERSION",
+    "ExperimentSpec",
+    "NetworkSpec",
     "DEFAULT_CACHE_DIR",
     "DISTRIBUTION_FAMILIES",
     "DistributionSpec",

@@ -1,14 +1,19 @@
 """Batch execution of scenario suites: expand, cache-check, run, aggregate.
 
-The runner turns declarative :class:`~repro.experiments.spec.ScenarioSpec`
-objects into :class:`ScenarioRecord` results.  Every expanded point is
-executed through the streaming :class:`repro.api.Session` facade, which owns
-the whole pipeline — distribution, scripted workload, protocol system over
-the discrete-event simulator, history recorder, incremental consistency
-checkers for the criterion the protocol claims
-(:data:`repro.mcs.PROTOCOL_CRITERION`) — and hands back one
-:class:`~repro.api.RunReport` carrying the verdict, the Section 3.3
-efficiency report and the Theorem 1 relevance accounting.
+The runner turns declarative :class:`~repro.experiments.spec.ExperimentSpec`
+objects into :class:`ScenarioRecord` results.  Every expanded point carries
+one canonical :class:`repro.spec.ScenarioSpec` and is executed through
+:meth:`repro.api.Session.from_spec`, which owns the whole pipeline —
+distribution, scripted workload, protocol system over the discrete-event
+simulator and its (possibly fault-injecting) network model, history
+recorder, incremental consistency checkers for the criteria the scenario
+names (default: the criterion the protocol's registry entry claims) — and
+hands back one :class:`~repro.api.RunReport` carrying the verdict, the
+Section 3.3 efficiency report, the Theorem 1 relevance accounting and the
+network/fault statistics.  Each record is compared against the scenario's
+``expect_consistent`` expectation: :attr:`SuiteResult.failures` lists the
+surprises in *either* direction, which is what makes the ``faults`` suite a
+regression gate.
 
 Results are memoised through :class:`~repro.experiments.cache.ResultCache`
 (content-hash keyed, see :mod:`repro.experiments.cache`) and independent
@@ -26,7 +31,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..mcs.system import PROTOCOL_CRITERION
 from .cache import ResultCache
-from .spec import ScenarioPoint, ScenarioSpec
+from .spec import ExperimentSpec, ScenarioPoint
 
 
 @dataclass
@@ -56,6 +61,23 @@ class ScenarioRecord:
     relevance_violations: int
     elapsed_s: float
     cached: bool = False
+    network_model: str = "reliable"
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    expected_consistent: Optional[bool] = True
+    stopped_early: bool = False
+    first_violation: Optional[str] = None
+
+    @property
+    def as_expected(self) -> bool:
+        """``True`` when the verdict matches the scenario's expectation.
+
+        ``None`` on either side means "don't care"/"not checked" and never
+        counts as a surprise.
+        """
+        if self.consistent is None or self.expected_consistent is None:
+            return True
+        return self.consistent == self.expected_consistent
 
     def as_row(self) -> Dict[str, Any]:
         """Flat row for the plain-text table renderers."""
@@ -64,8 +86,11 @@ class ScenarioRecord:
             "protocol": self.protocol,
             "seed": self.seed,
             "criterion": self.criterion,
-            "ok": {True: "yes", False: "NO", None: "n/a"}[self.consistent],
+            "ok": {True: "yes", False: "NO", None: "n/a"}[self.consistent]
+            + ("" if self.as_expected else " (UNEXPECTED)"),
             "exact": "yes" if self.exact else "heuristic",
+            "network": self.network_model,
+            "dropped": self.messages_dropped,
             "procs": self.processes,
             "vars": self.variables,
             "ops": self.operations,
@@ -104,8 +129,16 @@ class SuiteResult:
 
     @property
     def failures(self) -> List[ScenarioRecord]:
-        """Records whose consistency check failed (``consistent is False``)."""
-        return [r for r in self.records if r.consistent is False]
+        """Records whose verdict contradicts the scenario's expectation.
+
+        For ordinary scenarios (``expect_consistent=True``) this is exactly
+        the historical "consistency check failed" set; fault-injection
+        scenarios designed to produce a proven violation
+        (``expect_consistent=False``) fail when the violation is *not*
+        caught, which is what makes ``repro experiments run --suite faults``
+        a regression gate.
+        """
+        return [r for r in self.records if not r.as_expected]
 
 
 def run_point(point: ScenarioPoint, pool: Optional[Any] = None) -> ScenarioRecord:
@@ -120,17 +153,10 @@ def run_point(point: ScenarioPoint, pool: Optional[Any] = None) -> ScenarioRecor
     from ..api import Session  # local import: repro.api builds on this package
 
     started = time.perf_counter()
-    session = Session(
-        protocol=point.protocol,
-        distribution=point.distribution,
-        workload=point.workload,
-        seed=point.seed,
-        check=point.check_consistency,
-        exact=point.exact,
-        pool=pool,
-    )
+    session = Session.from_spec(point.spec, pool=pool)
     report = session.run()
-    criterion = PROTOCOL_CRITERION[point.protocol]
+    criterion = ",".join(report.criteria) if report.criteria else \
+        PROTOCOL_CRITERION[point.protocol]
     efficiency = report.efficiency
     return ScenarioRecord(
         scenario=point.scenario,
@@ -156,11 +182,17 @@ def run_point(point: ScenarioPoint, pool: Optional[Any] = None) -> ScenarioRecor
         relevance_violations=report.relevance_violations,
         elapsed_s=time.perf_counter() - started,
         cached=False,
+        network_model=point.network.model,
+        messages_dropped=report.messages_dropped,
+        messages_duplicated=report.messages_duplicated,
+        expected_consistent=point.expect_consistent,
+        stopped_early=report.stopped_early,
+        first_violation=report.first_violation,
     )
 
 
 def run_suite(
-    specs: Sequence[ScenarioSpec],
+    specs: Sequence[ExperimentSpec],
     cache: Optional[ResultCache] = None,
     workers: int = 0,
     progress: Optional[Any] = None,
@@ -199,6 +231,13 @@ def run_suite(
                         record = None
                     if record is not None:
                         record.cached = True
+                        # Presentation/gating fields are excluded from the
+                        # cache key, so re-stamp them from the *current*
+                        # point: an edited expectation or re-filed scenario
+                        # must not be judged against the stored values.
+                        record.suite = point.suite
+                        record.paper_ref = point.paper_ref
+                        record.expected_consistent = point.expect_consistent
                         result.records.append(record)
                         result.cached += 1
                         say(f"cached   {point.label()}")
@@ -240,16 +279,26 @@ def aggregate_records(records: Iterable[ScenarioRecord]) -> List[Dict[str, Any]]
         n = len(group)
         verdicts = [r.consistent for r in group if r.consistent is not None]
         all_exact = all(r.exact for r in group if r.consistent is not None)
+        surprises = [r for r in group if not r.as_expected]
+        ok = ("n/a" if not verdicts
+              else ("yes" if all_exact else "yes (heuristic)")
+              if all(verdicts) else "NO")
+        if (not surprises and any(v is False for v in verdicts)
+                and any(r.expected_consistent is False for r in group)):
+            # a heuristic "yes" is only "no violation found", not a proof;
+            # an expected violation is the scenario doing its job — but only
+            # when the scenario actually *expects* one (not a None don't-care)
+            ok = "NO (expected)"
+        elif surprises:
+            ok += " (UNEXPECTED)"
         rows.append({
             "scenario": scenario,
             "protocol": protocol,
             "runs": n,
             "criterion": group[0].criterion,
-            # a heuristic "yes" is only "no violation found", not a proof
-            "ok": ("n/a" if not verdicts
-                   else ("yes" if all_exact else "yes (heuristic)")
-                   if all(verdicts) else "NO"),
+            "ok": ok,
             "msgs": sum(r.messages for r in group),
+            "dropped": sum(r.messages_dropped for r in group),
             "ctrl_B/msg": round(sum(r.control_bytes_per_message for r in group) / n, 1),
             "irrelevant": sum(r.irrelevant_messages for r in group),
             "beyond_thm1": sum(r.relevance_violations for r in group),

@@ -1,20 +1,27 @@
-"""Declarative scenario specifications and their grid expansion.
+"""Declarative experiment specifications and their grid expansion.
 
-A :class:`ScenarioSpec` names everything needed to run one experiment family
-end-to-end: a protocol line-up from :data:`repro.mcs.PROTOCOLS`, a variable
-distribution family from :mod:`repro.workloads.distributions` (optionally
-built over a topology from :mod:`repro.workloads.topology`), a scripted
-access pattern from :mod:`repro.workloads.access_patterns`, the seeds to
-replay, and an optional parameter grid.  Specs are pure data: they are
-validated eagerly (:meth:`ScenarioSpec.validate`) and expanded lazily into
-concrete :class:`ScenarioPoint` runs (:meth:`ScenarioSpec.expand`), one per
-``protocol x seed x grid-cell``.
+An :class:`ExperimentSpec` names a *family* of runs: a protocol line-up, a
+distribution family, a workload pattern, a network model, the seeds to
+replay and an optional parameter grid.  It is pure data, validated eagerly
+(:meth:`ExperimentSpec.validate`) and expanded lazily
+(:meth:`ExperimentSpec.expand`) into concrete :class:`ScenarioPoint` runs —
+one per ``protocol x seed x grid-cell`` — each of which wraps one canonical
+:class:`repro.spec.ScenarioSpec` (the typed, JSON-round-trippable
+single-run spec the whole stack executes).
+
+The component specs themselves (:class:`~repro.spec.DistributionSpec`,
+:class:`~repro.spec.WorkloadSpec`, ...) live in :mod:`repro.spec`; they are
+re-exported here, together with live registry views replacing the historical
+hardcoded tables (``DISTRIBUTION_FAMILIES``, ``WORKLOAD_PATTERNS``,
+``TOPOLOGIES``, ``*_PARAMS``, ``SEEDED_FAMILIES``), so existing imports keep
+working while third-party plugins appear automatically.
 
 Each point canonicalises to a JSON-stable key whose SHA-256 digest
 (:meth:`ScenarioPoint.content_hash`) identifies its result in the cache.  The
 scenario name is part of that identity (renaming a scenario re-runs it), but
-presentation-only fields (suite, paper_ref, description) are not; any change
-to a parameter, seed or protocol invalidates only the affected points.
+presentation-only fields (suite, paper_ref, description, the expected
+verdict) are not; any change to a parameter, seed, protocol or network model
+invalidates only the affected points.
 """
 
 from __future__ import annotations
@@ -23,214 +30,83 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.distribution import VariableDistribution
-from ..exceptions import ReproError
-from ..mcs.system import PROTOCOLS
-from ..workloads.access_patterns import (
-    Access,
-    single_writer_script,
-    uniform_access_script,
+from ..exceptions import ScenarioSpecError
+from ..spec.registry import (
+    DISTRIBUTION_REGISTRY,
+    TOPOLOGY_REGISTRY,
+    WORKLOAD_REGISTRY,
+    RegistryView,
+    build_topology,
+    resolve_protocol,
 )
-from ..workloads.distributions import (
-    chain_distribution,
-    disjoint_blocks,
-    full_replication,
-    neighbourhood_distribution,
-    random_distribution,
+from ..spec.scenario import (
+    CheckSpec,
+    DistributionSpec,
+    NetworkSpec,
+    ProtocolSpec,
+    TopologySpec,
+    WorkloadSpec,
 )
-from ..workloads.topology import (
-    WeightedDigraph,
-    figure8_network,
-    line_network,
-    random_network,
-    ring_network,
-    star_network,
-)
+from ..spec.scenario import ScenarioSpec as _RunSpec
 
 #: Bump when the record layout or run semantics change; part of every content
 #: hash, so stale cache entries are never reused across incompatible versions.
-CACHE_VERSION = 1
-
-
-class ScenarioSpecError(ReproError):
-    """A scenario specification is malformed (unknown name, bad parameter...)."""
+#: (2: points are hashed over their canonical ScenarioSpec, which adds the
+#: network model and check spec to the identity.)
+CACHE_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
-# Topology and distribution families
+# Back-compat registry views (the historical hardcoded tables)
 # ---------------------------------------------------------------------------
-
-def _neighbourhood_over_topology(
-    topology: str = "figure8", **params: Any
-) -> VariableDistribution:
-    graph = build_topology(topology, **params)
-    return neighbourhood_distribution(graph)
-
 
 #: Topology builders usable by the ``neighbourhood`` distribution family.
-TOPOLOGIES: Dict[str, Callable[..., WeightedDigraph]] = {
-    "figure8": figure8_network,
-    "line": line_network,
-    "ring": ring_network,
-    "star": star_network,
-    "random": random_network,
-}
+TOPOLOGIES = RegistryView(TOPOLOGY_REGISTRY, lambda c: c.factory)
 
 #: Allowed parameters per topology (``figure8`` takes none).
-TOPOLOGY_PARAMS: Dict[str, Tuple[str, ...]] = {
-    "figure8": (),
-    "line": ("nodes", "weight"),
-    "ring": ("nodes", "weight"),
-    "star": ("nodes", "weight"),
-    "random": ("nodes", "extra_edges", "seed", "max_weight", "symmetric"),
-}
+TOPOLOGY_PARAMS = RegistryView(TOPOLOGY_REGISTRY, lambda c: c.params)
 
 #: Distribution family builders, keyed by the name used in specs.
-DISTRIBUTION_FAMILIES: Dict[str, Callable[..., VariableDistribution]] = {
-    "full_replication": full_replication,
-    "disjoint_blocks": disjoint_blocks,
-    "chain": chain_distribution,
-    "random": random_distribution,
-    "neighbourhood": _neighbourhood_over_topology,
-}
+DISTRIBUTION_FAMILIES = RegistryView(DISTRIBUTION_REGISTRY, lambda c: c.factory)
 
-#: Allowed parameters per distribution family (validated eagerly so a typo in
-#: a spec fails at registration time, not halfway through a suite run).
-DISTRIBUTION_PARAMS: Dict[str, Tuple[str, ...]] = {
-    "full_replication": ("processes", "variables"),
-    "disjoint_blocks": ("groups", "group_size", "variables_per_group"),
-    "chain": ("intermediates", "studied_variable"),
-    "random": ("processes", "variables", "replicas_per_variable", "seed"),
-    "neighbourhood": ("topology",) + tuple(
-        sorted({p for params in TOPOLOGY_PARAMS.values() for p in params})
-    ),
-}
+#: Allowed parameters per distribution family.
+DISTRIBUTION_PARAMS = RegistryView(DISTRIBUTION_REGISTRY, lambda c: c.params)
 
 #: Families whose builder accepts a ``seed``; when the spec omits it, the
 #: point's workload seed is injected so the seed axis also varies the layout.
-SEEDED_FAMILIES = frozenset({"random"})
+SEEDED_FAMILIES = RegistryView(
+    DISTRIBUTION_REGISTRY, lambda c: c.factory,
+    predicate=lambda c: bool(c.metadata.get("seeded")),
+)
 
 #: Workload access-pattern generators, keyed by the name used in specs.
-WORKLOAD_PATTERNS: Dict[str, Callable[..., List[Access]]] = {
-    "uniform": uniform_access_script,
-    "single_writer": single_writer_script,
-}
+WORKLOAD_PATTERNS = RegistryView(WORKLOAD_REGISTRY, lambda c: c.factory)
 
 #: Allowed parameters per workload pattern (``seed`` comes from the point).
-WORKLOAD_PARAMS: Dict[str, Tuple[str, ...]] = {
-    "uniform": ("operations_per_process", "write_fraction"),
-    "single_writer": ("writes_per_variable", "reads_per_replica"),
-}
-
-
-def build_topology(name: str, **params: Any) -> WeightedDigraph:
-    """Build a named topology, validating the parameter names."""
-    try:
-        builder = TOPOLOGIES[name]
-    except KeyError:
-        raise ScenarioSpecError(
-            f"unknown topology {name!r}; known: {sorted(TOPOLOGIES)}"
-        ) from None
-    allowed = TOPOLOGY_PARAMS[name]
-    unknown = sorted(set(params) - set(allowed))
-    if unknown:
-        raise ScenarioSpecError(
-            f"topology {name!r} does not accept parameters {unknown}; allowed: {sorted(allowed)}"
-        )
-    return builder(**params)
+WORKLOAD_PARAMS = RegistryView(WORKLOAD_REGISTRY, lambda c: c.params)
 
 
 # ---------------------------------------------------------------------------
-# Spec dataclasses
+# Experiment (grid) spec
 # ---------------------------------------------------------------------------
 
 @dataclass
-class DistributionSpec:
-    """Which variable distribution to build: a family name plus its parameters."""
-
-    family: str
-    params: Dict[str, Any] = field(default_factory=dict)
-
-    def validate(self) -> None:
-        if self.family not in DISTRIBUTION_FAMILIES:
-            raise ScenarioSpecError(
-                f"unknown distribution family {self.family!r}; "
-                f"known: {sorted(DISTRIBUTION_FAMILIES)}"
-            )
-        allowed = DISTRIBUTION_PARAMS[self.family]
-        unknown = sorted(set(self.params) - set(allowed))
-        if unknown:
-            raise ScenarioSpecError(
-                f"distribution family {self.family!r} does not accept parameters "
-                f"{unknown}; allowed: {sorted(allowed)}"
-            )
-        if self.family == "neighbourhood":
-            topology = self.params.get("topology", "figure8")
-            if topology not in TOPOLOGIES:
-                raise ScenarioSpecError(
-                    f"unknown topology {topology!r}; known: {sorted(TOPOLOGIES)}"
-                )
-            incompatible = sorted(
-                set(self.params) - {"topology"} - set(TOPOLOGY_PARAMS[topology])
-            )
-            if incompatible:
-                raise ScenarioSpecError(
-                    f"topology {topology!r} does not accept parameters "
-                    f"{incompatible}; allowed: {sorted(TOPOLOGY_PARAMS[topology])}"
-                )
-
-    def build(self, seed: int = 0) -> VariableDistribution:
-        """Materialise the distribution (``seed`` fills in a missing family seed)."""
-        self.validate()
-        params = dict(self.params)
-        if self.family in SEEDED_FAMILIES:
-            params.setdefault("seed", seed)
-        return DISTRIBUTION_FAMILIES[self.family](**params)
-
-
-@dataclass
-class WorkloadSpec:
-    """Which scripted access pattern to replay: a pattern name plus parameters."""
-
-    pattern: str
-    params: Dict[str, Any] = field(default_factory=dict)
-
-    def validate(self) -> None:
-        if self.pattern not in WORKLOAD_PATTERNS:
-            raise ScenarioSpecError(
-                f"unknown workload pattern {self.pattern!r}; "
-                f"known: {sorted(WORKLOAD_PATTERNS)}"
-            )
-        allowed = WORKLOAD_PARAMS[self.pattern]
-        unknown = sorted(set(self.params) - set(allowed))
-        if unknown:
-            raise ScenarioSpecError(
-                f"workload pattern {self.pattern!r} does not accept parameters "
-                f"{unknown}; allowed: {sorted(allowed)}"
-            )
-        fraction = self.params.get("write_fraction")
-        if fraction is not None and not 0.0 <= float(fraction) <= 1.0:
-            raise ScenarioSpecError(
-                f"write_fraction must be in [0, 1], got {fraction!r}"
-            )
-
-    def build(self, distribution: VariableDistribution, seed: int = 0) -> List[Access]:
-        """Generate the access script for ``distribution`` with the given seed."""
-        self.validate()
-        return WORKLOAD_PATTERNS[self.pattern](distribution, seed=seed, **self.params)
-
-
-@dataclass
-class ScenarioSpec:
-    """One named experiment: protocols x distribution x workload x seeds x grid.
+class ExperimentSpec:
+    """One named experiment family: protocols x components x seeds x grid.
 
     ``grid`` maps dotted axis names (``"distribution.<param>"`` or
     ``"workload.<param>"``) to the sequence of values to sweep; the cross
     product of all axes, the protocols and the seeds is the set of concrete
     runs (:meth:`expand`).  ``paper_ref`` ties the scenario to the paper claim
     it reproduces (see EXPERIMENTS.md at the repository root).
+
+    ``network`` selects the network model every point runs on (default: the
+    reliable unit-latency network); ``criteria``/``check_policy`` override
+    what the points check and how eagerly; ``expect_consistent`` states the
+    verdict the suite gate asserts — ``False`` for fault scenarios designed
+    to produce a *proven* violation, ``None`` for "don't care".
     """
 
     name: str
@@ -244,6 +120,19 @@ class ScenarioSpec:
     grid: Dict[str, Sequence[Any]] = field(default_factory=dict)
     check_consistency: bool = True
     exact: bool = True
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    criteria: Tuple[str, ...] = ()
+    check_policy: Optional[str] = None
+    protocol_options: Dict[str, Any] = field(default_factory=dict)
+    expect_consistent: Optional[bool] = True
+
+    def _check_spec(self) -> CheckSpec:
+        return CheckSpec(
+            enabled=self.check_consistency,
+            criteria=tuple(self.criteria),
+            policy=self.check_policy,
+            exact=self.exact,
+        )
 
     def validate(self) -> None:
         """Raise :class:`ScenarioSpecError` on the first malformed field."""
@@ -254,15 +143,19 @@ class ScenarioSpec:
         if not self.protocols:
             raise ScenarioSpecError(f"scenario {self.name!r} lists no protocols")
         for protocol in self.protocols:
-            if protocol not in PROTOCOLS:
+            try:
+                component = resolve_protocol(protocol)
+                component.validate_params(self.protocol_options)
+            except ScenarioSpecError as exc:
                 raise ScenarioSpecError(
-                    f"scenario {self.name!r}: unknown protocol {protocol!r}; "
-                    f"known: {sorted(PROTOCOLS)}"
-                )
+                    f"scenario {self.name!r}: {exc}"
+                ) from None
         if not self.seeds:
             raise ScenarioSpecError(f"scenario {self.name!r} lists no seeds")
         self.distribution.validate()
         self.workload.validate()
+        self.network.validate()
+        self._check_spec().validate()
         for axis, values in self.grid.items():
             scope, _, param = axis.partition(".")
             if scope not in ("distribution", "workload") or not param:
@@ -307,60 +200,100 @@ class ScenarioSpec:
         return merged
 
     def expand(self) -> List["ScenarioPoint"]:
-        """All concrete runs of the scenario, in deterministic order."""
+        """All concrete runs of the experiment, in deterministic order."""
         self.validate()
         points: List[ScenarioPoint] = []
         for dist, work in self._cells():
             for protocol in self.protocols:
                 for seed in self.seeds:
+                    scenario = _RunSpec(
+                        name=self.name,
+                        protocol=ProtocolSpec(protocol, dict(self.protocol_options)),
+                        distribution=replace(dist, params=dict(dist.params)),
+                        workload=replace(work, params=dict(work.params)),
+                        network=replace(self.network,
+                                        params=dict(self.network.params)),
+                        check=self._check_spec(),
+                        seed=seed,
+                    )
                     points.append(
                         ScenarioPoint(
-                            scenario=self.name,
+                            spec=scenario,
                             suite=self.suite,
                             paper_ref=self.paper_ref,
-                            protocol=protocol,
-                            seed=seed,
-                            distribution=dist,
-                            workload=work,
-                            check_consistency=self.check_consistency,
-                            exact=self.exact,
+                            expect_consistent=self.expect_consistent,
                         )
                     )
         return points
 
 
+#: Back-compat alias: the grid-level spec was historically called
+#: ``ScenarioSpec`` in this module.  The canonical *single-run*
+#: ``ScenarioSpec`` now lives in :mod:`repro.spec`; new code should say
+#: ``ExperimentSpec`` for the grid-level class.
+ScenarioSpec = ExperimentSpec
+
+
 @dataclass
 class ScenarioPoint:
-    """One concrete, cache-addressable run: everything resolved but not executed."""
+    """One concrete, cache-addressable run: a canonical spec plus filing.
 
-    scenario: str
-    protocol: str
-    seed: int
-    distribution: DistributionSpec
-    workload: WorkloadSpec
+    ``spec`` is the :class:`repro.spec.ScenarioSpec` the run executes;
+    ``suite``/``paper_ref``/``expect_consistent`` are presentation and gating
+    data excluded from the run's identity.
+    """
+
+    spec: _RunSpec
     suite: str = "custom"
     paper_ref: str = ""
-    check_consistency: bool = True
-    exact: bool = True
+    expect_consistent: Optional[bool] = True
 
+    # -- delegating accessors (the historical flat field surface) -------------
+    @property
+    def scenario(self) -> str:
+        return self.spec.name
+
+    @property
+    def protocol(self) -> str:
+        return self.spec.protocol.name
+
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+    @property
+    def distribution(self) -> DistributionSpec:
+        return self.spec.distribution
+
+    @property
+    def workload(self) -> WorkloadSpec:
+        return self.spec.workload
+
+    @property
+    def network(self) -> NetworkSpec:
+        return self.spec.network
+
+    @property
+    def check_consistency(self) -> bool:
+        return self.spec.check.enabled
+
+    @property
+    def exact(self) -> bool:
+        return self.spec.check.exact
+
+    # -- identity --------------------------------------------------------------
     def key(self) -> Dict[str, Any]:
         """The canonical identity of the run (everything that affects its result).
 
-        Presentation-only fields (``suite``, ``paper_ref``) are deliberately
-        excluded so re-filing a scenario does not invalidate its cache.
+        Presentation-only fields (``suite``, ``paper_ref``,
+        ``expect_consistent``, ``description``) are deliberately excluded so
+        re-filing a scenario does not invalidate its cache.
         """
-        return {
-            "cache_version": CACHE_VERSION,
-            "scenario": self.scenario,
-            "protocol": self.protocol,
-            "seed": self.seed,
-            "distribution": {"family": self.distribution.family,
-                             "params": dict(self.distribution.params)},
-            "workload": {"pattern": self.workload.pattern,
-                         "params": dict(self.workload.params)},
-            "check_consistency": self.check_consistency,
-            "exact": self.exact,
-        }
+        data = self.spec.to_dict()
+        data.pop("description", None)
+        data["cache_version"] = CACHE_VERSION
+        data.setdefault("seed", self.spec.seed)
+        return data
 
     def content_hash(self) -> str:
         """SHA-256 digest of the canonical JSON key (the cache address)."""
@@ -373,5 +306,7 @@ class ScenarioPoint:
             f"{k}={v}"
             for k, v in sorted({**self.distribution.params, **self.workload.params}.items())
         )
+        if self.network.model != "reliable":
+            extras = "/".join(filter(None, [extras, f"net={self.network.model}"]))
         suffix = f" [{extras}]" if extras else ""
         return f"{self.scenario}:{self.protocol}:s{self.seed}{suffix}"

@@ -1,6 +1,6 @@
-"""Built-in scenario suites: paper reproductions plus stress scenarios.
+"""Built-in scenario suites: paper reproductions, stress and fault scenarios.
 
-Two suites ship with the library (both registered on the global
+Three suites ship with the library (all registered on the global
 :data:`~repro.experiments.registry.REGISTRY` at import time):
 
 ``paper``
@@ -18,18 +18,34 @@ Two suites ship with the library (both registered on the global
     search would dominate the runtime; their verdicts are therefore
     falsification checks, not consistency proofs (see
     :meth:`repro.core.consistency.base.CheckResult.witness`).
+
+``faults``
+    The protocols beyond the paper's reliable-FIFO assumption ([5]): message
+    loss, duplication, link partitions with heal schedules and process
+    crash/recover windows, injected by the ``faulty``
+    :class:`~repro.netsim.models.NetworkModel`.  The hardened protocols
+    (sequence numbers, vector clocks, causal barriers) survive by *stalling*
+    — stale reads, verdicts still consistent — while the barrier-free
+    ``best_effort`` protocol produces **proven violations** the incremental
+    checkers catch mid-run: its scenarios carry ``expect_consistent=False``,
+    so the suite doubles as a regression gate on the checkers' fault
+    sensitivity (a violation that stops being caught fails the suite).
 """
 
 from __future__ import annotations
 
 from typing import List
 
+from ..spec.scenario import NetworkSpec
 from .registry import REGISTRY, ScenarioRegistry
-from .spec import DistributionSpec, ScenarioSpec, WorkloadSpec
+from .spec import DistributionSpec, ExperimentSpec, WorkloadSpec
+
+#: Back-compat: the grid-level spec class was historically named ScenarioSpec.
+ScenarioSpec = ExperimentSpec
 
 
-def builtin_scenarios() -> List[ScenarioSpec]:
-    """Fresh spec objects for every built-in scenario (paper + stress suites)."""
+def builtin_scenarios() -> List[ExperimentSpec]:
+    """Fresh spec objects for every built-in scenario (paper/stress/faults)."""
     return [
         # ------------------------------------------------------------------ paper
         ScenarioSpec(
@@ -206,6 +222,137 @@ def builtin_scenarios() -> List[ScenarioSpec]:
                                                     "reads_per_replica": 4}),
             seeds=(0,),
             exact=False,
+        ),
+        # ----------------------------------------------------------------- faults
+        ScenarioSpec(
+            name="faults-partition-hoop",
+            suite="faults",
+            paper_ref="Section 3 assumption [5] (violated)",
+            description="The Figure 2 hoop with the direct head-to-tail link "
+                        "partitioned while the relay chain stays up: the "
+                        "barrier-free protocol lets causally newer relay "
+                        "values overtake the lost x update, a causal "
+                        "violation the incremental checker proves mid-run.",
+            protocols=("best_effort",),
+            distribution=DistributionSpec("chain", {"intermediates": 1}),
+            workload=WorkloadSpec("hoop_relay", {"rounds": 6}),
+            network=NetworkSpec("faulty", {
+                "latency": 0.1,
+                "partitions": [{"start": 0.0, "end": 4.0, "links": [[0, 2]]}],
+            }),
+            criteria=("causal",),
+            check_policy="fail_fast",
+            exact=False,
+            expect_consistent=False,
+            seeds=(0,),
+        ),
+        ScenarioSpec(
+            name="faults-partition-barrier",
+            suite="faults",
+            paper_ref="Section 4 (causal barriers under partition)",
+            description="The same partitioned hoop on the causal-barrier "
+                        "protocol: updates whose dependencies were lost are "
+                        "withheld, reads go stale but never inconsistent.",
+            protocols=("causal_partial",),
+            distribution=DistributionSpec("chain", {"intermediates": 1}),
+            workload=WorkloadSpec("hoop_relay", {"rounds": 6}),
+            network=NetworkSpec("faulty", {
+                "latency": 0.1,
+                "partitions": [{"start": 0.0, "end": 4.0, "links": [[0, 2]]}],
+            }),
+            criteria=("causal",),
+            exact=False,
+            expect_consistent=True,
+            seeds=(0,),
+        ),
+        ScenarioSpec(
+            name="faults-duplication",
+            suite="faults",
+            paper_ref="Section 5 (sequence numbers as idempotence)",
+            description="Random duplication with delayed second copies: the "
+                        "best-effort protocol re-applies stale writes and a "
+                        "reader observes a writer's values go backwards (a "
+                        "proven slow-memory violation); the PRAM protocol's "
+                        "sequence numbers discard every duplicate.",
+            protocols=("best_effort",),
+            distribution=DistributionSpec("random",
+                                          {"processes": 3, "variables": 2,
+                                           "replicas_per_variable": 3}),
+            workload=WorkloadSpec("uniform", {"operations_per_process": 30,
+                                              "write_fraction": 0.4}),
+            network=NetworkSpec("faulty", {
+                "latency": 0.1,
+                "duplicate_rate": 0.5,
+                "duplicate_lag": 5.0,
+            }),
+            check_policy="fail_fast",
+            exact=False,
+            expect_consistent=False,
+            seeds=(0,),
+        ),
+        ScenarioSpec(
+            name="faults-duplication-hardened",
+            suite="faults",
+            paper_ref="Section 5 (sequence numbers as idempotence)",
+            description="The same duplicating network against the hardened "
+                        "protocols: per-sender sequence numbers (PRAM) and "
+                        "write identifiers (causal barriers) make updates "
+                        "idempotent, verdicts stay consistent.",
+            protocols=("pram_partial", "causal_partial"),
+            distribution=DistributionSpec("random",
+                                          {"processes": 3, "variables": 2,
+                                           "replicas_per_variable": 3}),
+            workload=WorkloadSpec("uniform", {"operations_per_process": 30,
+                                              "write_fraction": 0.4}),
+            network=NetworkSpec("faulty", {
+                "latency": 0.1,
+                "duplicate_rate": 0.5,
+                "duplicate_lag": 5.0,
+            }),
+            exact=False,
+            expect_consistent=True,
+            seeds=(0,),
+        ),
+        ScenarioSpec(
+            name="faults-loss",
+            suite="faults",
+            paper_ref="Section 5 (loss: staleness, not inconsistency)",
+            description="15% message loss: the PRAM protocol's per-sender "
+                        "gaps stall later updates (stale reads), the causal "
+                        "protocols withhold updates with lost dependencies - "
+                        "every verdict stays consistent.",
+            protocols=("pram_partial", "causal_partial", "causal_full"),
+            distribution=DistributionSpec("random",
+                                          {"processes": 5, "variables": 6,
+                                           "replicas_per_variable": 3}),
+            workload=WorkloadSpec("uniform", {"operations_per_process": 12,
+                                              "write_fraction": 0.6}),
+            network=NetworkSpec("faulty", {"latency": 0.1, "drop_rate": 0.15}),
+            exact=False,
+            expect_consistent=True,
+            seeds=(0, 1),
+        ),
+        ScenarioSpec(
+            name="faults-crash-recover",
+            suite="faults",
+            paper_ref="Section 1 (MCS process availability)",
+            description="One process' network interface crashes mid-run and "
+                        "recovers: updates it misses stall its causal "
+                        "delivery (vector clocks) or its per-sender windows "
+                        "(PRAM); reads go stale, consistency holds.",
+            protocols=("causal_full", "pram_partial"),
+            distribution=DistributionSpec("random",
+                                          {"processes": 4, "variables": 5,
+                                           "replicas_per_variable": 3}),
+            workload=WorkloadSpec("uniform", {"operations_per_process": 12,
+                                              "write_fraction": 0.6}),
+            network=NetworkSpec("faulty", {
+                "latency": 0.1,
+                "crashes": [{"process": 1, "start": 1.0, "end": 3.0}],
+            }),
+            exact=False,
+            expect_consistent=True,
+            seeds=(0,),
         ),
     ]
 

@@ -1,6 +1,7 @@
 """Memory Consistency System protocols and their instrumentation."""
 
 from .base import MCSProcess
+from .best_effort import BestEffortReplication
 from .causal_full import CausalFullReplication
 from .causal_partial import RELAY_SCOPES, CausalPartialReplication
 from .metrics import (
@@ -17,6 +18,7 @@ from .system import PROTOCOL_CRITERION, PROTOCOLS, MCSystem
 from .vector_clock import VectorClock
 
 __all__ = [
+    "BestEffortReplication",
     "CausalFullReplication",
     "CausalPartialReplication",
     "EfficiencyReport",

@@ -21,11 +21,19 @@ from ..core.distribution import VariableDistribution
 from ..exceptions import ProtocolError
 from ..netsim.message import Message
 from ..netsim.network import Network
+from ..spec.registry import register_protocol
 from .base import MCSProcess
 from .recorder import HistoryRecorder, WriteId
 from .vector_clock import VectorClock
 
 
+@register_protocol(
+    "causal_full",
+    criterion="causal",
+    replication="full",
+    description="classical vector-clock causal broadcast over complete "
+                "replication (Section 1 references [3], [4], [8], [10])",
+)
 class CausalFullReplication(MCSProcess):
     """Causal memory with complete replication and vector-clock causal broadcast."""
 
@@ -67,6 +75,20 @@ class CausalFullReplication(MCSProcess):
     def on_message(self, message: Message) -> None:
         if message.kind != "update":
             raise ProtocolError(f"unexpected message kind {message.kind!r}")
+        sender = message.control["sender"]
+        vc_sender = message.control["vc"][sender]
+        if vc_sender <= self._vc[sender]:
+            # Duplicate copy (faulty network): the sender entry was already
+            # advanced past this update, so it was applied before.  Discard
+            # instead of letting it sit in the pending buffer forever.
+            return
+        if any(m.control["sender"] == sender
+               and m.control["vc"][sender] == vc_sender
+               for m in self._pending):
+            # Duplicate of an update still waiting for deliverability: a
+            # second buffered copy could never be delivered (the first one
+            # advances the clock past it) and would pin the pending buffer.
+            return
         self._pending.append(message)
         self._drain()
 

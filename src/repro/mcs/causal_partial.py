@@ -38,6 +38,7 @@ from ..core.share_graph import ShareGraph
 from ..exceptions import ProtocolConfigError, ProtocolError
 from ..netsim.message import Message
 from ..netsim.network import Network
+from ..spec.registry import register_protocol
 from .base import MCSProcess
 from .recorder import HistoryRecorder, WriteId
 
@@ -45,6 +46,15 @@ from .recorder import HistoryRecorder, WriteId
 RELAY_SCOPES = ("all", "relevant", "own")
 
 
+@register_protocol(
+    "causal_partial",
+    criterion="causal",
+    replication="partial",
+    options=("relay_scope", "share_graph"),
+    needs_share_graph=True,
+    description="causal barriers with dependency relaying along hoops "
+                "(Theorem 1's x-relevance made executable)",
+)
 class CausalPartialReplication(MCSProcess):
     """Causal memory over partial replication, with causal-barrier dependencies."""
 
@@ -121,6 +131,15 @@ class CausalPartialReplication(MCSProcess):
     def on_message(self, message: Message) -> None:
         if message.kind != "update":
             raise ProtocolError(f"unexpected message kind {message.kind!r}")
+        wid: WriteId = tuple(message.control["wid"])  # type: ignore[assignment]
+        if wid in self._applied or any(
+            tuple(m.control["wid"]) == wid for m in self._pending
+        ):
+            # Duplicate copy (faulty network): the write identifier makes the
+            # update idempotent — whether the original was already applied or
+            # is still buffered awaiting its dependencies, the second copy
+            # must not be delivered again.
+            return
         self._pending.append(message)
         self._drain()
 

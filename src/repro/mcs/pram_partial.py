@@ -29,10 +29,18 @@ from ..core.distribution import VariableDistribution
 from ..exceptions import ProtocolError
 from ..netsim.message import Message
 from ..netsim.network import Network
+from ..spec.registry import register_protocol
 from .base import MCSProcess
 from .recorder import HistoryRecorder, WriteId
 
 
+@register_protocol(
+    "pram_partial",
+    criterion="pram",
+    replication="partial",
+    description="per-sender FIFO update propagation confined to C(x) "
+                "(Section 5, Theorem 2)",
+)
 class PRAMPartialReplication(MCSProcess):
     """Partial-replication PRAM memory (per-sender FIFO update propagation)."""
 
@@ -52,6 +60,8 @@ class PRAMPartialReplication(MCSProcess):
         self._expected_from: Dict[int, int] = {}
         #: Out-of-order buffer: sender -> seq -> message.
         self._pending: Dict[int, Dict[int, Message]] = {}
+        #: Duplicate copies discarded thanks to the sequence numbers.
+        self._duplicates_ignored = 0
 
     # -- write propagation ------------------------------------------------------
     def _propagate_write(self, variable: str, value: Any, write_id: WriteId) -> None:
@@ -81,8 +91,11 @@ class PRAMPartialReplication(MCSProcess):
             self._drain(sender)
         elif seq > expected:
             self._pending.setdefault(sender, {})[seq] = message
-        else:  # pragma: no cover - duplicate delivery cannot happen on reliable channels
-            raise ProtocolError(f"duplicate update seq={seq} from p{sender}")
+        else:
+            # seq < expected: a duplicate copy (possible under a faulty
+            # network model).  The per-sender sequence numbers make the
+            # protocol idempotent: the update was already applied, drop it.
+            self._duplicates_ignored += 1
 
     def _drain(self, sender: int) -> None:
         pending = self._pending.get(sender, {})
@@ -99,3 +112,7 @@ class PRAMPartialReplication(MCSProcess):
     def pending_updates(self) -> int:
         """Number of buffered out-of-order updates (0 on FIFO networks)."""
         return sum(len(v) for v in self._pending.values())
+
+    def duplicates_ignored(self) -> int:
+        """Duplicate update copies discarded (only nonzero on faulty networks)."""
+        return self._duplicates_ignored

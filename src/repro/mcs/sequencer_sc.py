@@ -24,10 +24,20 @@ from ..core.operations import BOTTOM
 from ..exceptions import ProtocolError, RetryOperation
 from ..netsim.message import Message
 from ..netsim.network import Network
+from ..spec.registry import register_protocol
 from .base import MCSProcess
 from .recorder import HistoryRecorder, WriteId
 
 
+@register_protocol(
+    "sequencer_sc",
+    criterion="sequential",
+    replication="full",
+    options=("sequencer",),
+    blocking_reads=True,
+    description="sequencer-ordered writes with a read barrier (Lamport's "
+                "sequential consistency, the strong baseline)",
+)
 class SequencerSC(MCSProcess):
     """Sequentially consistent memory via a write sequencer and local reads."""
 

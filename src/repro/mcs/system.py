@@ -13,43 +13,53 @@ examples and the benchmarks:
 >>> system.settle()                      # let every message be delivered
 >>> system.process(1).read("x")
 1
+
+Protocols are resolved through the plugin registry
+(:data:`repro.spec.registry.PROTOCOL_REGISTRY`): the built-in protocols
+register themselves with :func:`repro.spec.register_protocol` in their own
+modules (imported below), and third-party protocols registered the same way
+are constructible here — and from :class:`repro.api.Session`, the experiment
+runner and the CLI — without touching this file.  :data:`PROTOCOLS` and
+:data:`PROTOCOL_CRITERION` remain importable as live read-only views over the
+registry.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Type
+from typing import Any, Dict, Mapping, Optional
 
 from ..core.distribution import VariableDistribution
 from ..core.history import History
 from ..core.share_graph import ShareGraph
-from ..exceptions import ProtocolError
-from ..netsim.latency import ConstantLatency, LatencyModel
+from ..netsim.latency import LatencyModel
+from ..netsim.models import NetworkModel
 from ..netsim.network import Network
 from ..netsim.simulator import Simulator
+from ..spec.registry import PROTOCOL_REGISTRY, RegistryView, resolve_protocol
+
+# Importing the protocol modules runs their @register_protocol decorators.
+from . import best_effort as _best_effort  # noqa: F401
+from . import causal_full as _causal_full  # noqa: F401
+from . import causal_partial as _causal_partial  # noqa: F401
+from . import pram_partial as _pram_partial  # noqa: F401
+from . import sequencer_sc as _sequencer_sc  # noqa: F401
 from .base import MCSProcess
-from .causal_full import CausalFullReplication
-from .causal_partial import CausalPartialReplication
 from .metrics import EfficiencyReport, efficiency_report
-from .pram_partial import PRAMPartialReplication
 from .recorder import HistoryRecorder
-from .sequencer_sc import SequencerSC
 
-#: Registry of protocol constructors usable by name.
-PROTOCOLS: Dict[str, Type[MCSProcess]] = {
-    "pram_partial": PRAMPartialReplication,
-    "causal_full": CausalFullReplication,
-    "causal_partial": CausalPartialReplication,
-    "sequencer_sc": SequencerSC,
-}
+#: Live view of the protocol registry: name -> constructor.  Kept for
+#: backwards compatibility with the historical hardcoded table; third-party
+#: protocols registered via :func:`repro.spec.register_protocol` appear here
+#: automatically.
+PROTOCOLS: Mapping[str, type] = RegistryView(
+    PROTOCOL_REGISTRY, lambda component: component.factory
+)
 
-#: Consistency criterion each protocol is expected to enforce (used by tests
-#: and by the experiment harness to pick the right checker).
-PROTOCOL_CRITERION: Dict[str, str] = {
-    "pram_partial": "pram",
-    "causal_full": "causal",
-    "causal_partial": "causal",
-    "sequencer_sc": "sequential",
-}
+#: Live view: protocol name -> the consistency criterion it claims to enforce
+#: (used by tests and by the experiment harness to pick the right checker).
+PROTOCOL_CRITERION: Mapping[str, str] = RegistryView(
+    PROTOCOL_REGISTRY, lambda component: component.metadata["criterion"]
+)
 
 
 class MCSystem:
@@ -64,23 +74,26 @@ class MCSystem:
         record_trace: bool = False,
         protocol_options: Optional[Dict[str, Any]] = None,
         recorder: Optional[HistoryRecorder] = None,
+        network_model: Optional[NetworkModel] = None,
     ):
-        if protocol not in PROTOCOLS:
-            raise ProtocolError(f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}")
+        component = resolve_protocol(protocol)  # typed UnknownProtocolError
         self.distribution = distribution
-        self.protocol_name = protocol
+        self.protocol_name = component.name
+        self._criterion = component.metadata["criterion"]
         self.simulator = Simulator()
         self.network = Network(
             self.simulator,
-            latency=latency or ConstantLatency(1.0),
+            latency=latency,
             fifo=fifo,
             record_trace=record_trace,
+            model=network_model,
         )
         self.recorder = recorder if recorder is not None else HistoryRecorder()
         options = dict(protocol_options or {})
-        if protocol == "causal_partial" and "share_graph" not in options:
+        component.validate_params(options)  # typed ComponentParamError
+        if component.metadata.get("needs_share_graph") and "share_graph" not in options:
             options["share_graph"] = ShareGraph(distribution)
-        ctor = PROTOCOLS[protocol]
+        ctor = component.factory
         self._processes: Dict[int, MCSProcess] = {
             pid: ctor(pid, distribution, self.network, self.recorder, **options)
             for pid in distribution.processes
@@ -122,7 +135,7 @@ class MCSystem:
     @property
     def expected_criterion(self) -> str:
         """The consistency criterion the chosen protocol is meant to enforce."""
-        return PROTOCOL_CRITERION[self.protocol_name]
+        return self._criterion
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -13,6 +13,58 @@ import random
 from typing import Optional
 
 
+#: Latency classes buildable from a declarative ``{"kind": ...}`` spec.
+LATENCY_KINDS = {}
+
+
+def latency_kind(name):
+    """Register a latency class under a spec ``kind`` name."""
+
+    def decorate(cls):
+        LATENCY_KINDS[name] = cls
+        return cls
+
+    return decorate
+
+
+def build_latency(spec=None, seed: int = 0) -> "LatencyModel":
+    """Build a latency model from a declarative spec.
+
+    Accepts ``None`` (constant 1.0), a bare number (constant), an existing
+    :class:`LatencyModel`, or a ``{"kind": name, **params}`` mapping; seeded
+    kinds default to ``seed`` unless the spec pins its own.  Raises
+    :class:`~repro.exceptions.NetworkModelError` on malformed specs.
+    """
+    from ..exceptions import NetworkModelError
+
+    if spec is None:
+        return ConstantLatency(1.0)
+    if isinstance(spec, LatencyModel):
+        return spec
+    if isinstance(spec, (int, float)):
+        return ConstantLatency(float(spec))
+    if not isinstance(spec, dict):
+        raise NetworkModelError(
+            f"latency spec must be a number, a LatencyModel or a dict, got {spec!r}"
+        )
+    params = dict(spec)
+    kind = params.pop("kind", "constant")
+    try:
+        cls = LATENCY_KINDS[kind]
+    except KeyError:
+        raise NetworkModelError(
+            f"unknown latency kind {kind!r}; known: {sorted(LATENCY_KINDS)}"
+        ) from None
+    if cls is not ConstantLatency:
+        params.setdefault("seed", seed)
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise NetworkModelError(f"bad latency spec {spec!r}: {exc}") from None
+    except ValueError as exc:
+        raise NetworkModelError(f"bad latency spec {spec!r}: {exc}") from None
+
+
 class LatencyModel(abc.ABC):
     """Base class of latency models: maps (src, dst) to a positive delay."""
 
@@ -24,6 +76,7 @@ class LatencyModel(abc.ABC):
         return self.sample(src, dst)
 
 
+@latency_kind("constant")
 class ConstantLatency(LatencyModel):
     """Every message takes exactly ``delay`` time units."""
 
@@ -39,6 +92,7 @@ class ConstantLatency(LatencyModel):
         return f"ConstantLatency({self.delay})"
 
 
+@latency_kind("uniform")
 class UniformLatency(LatencyModel):
     """Latency drawn uniformly from ``[low, high]`` (seeded, deterministic)."""
 
@@ -56,6 +110,7 @@ class UniformLatency(LatencyModel):
         return f"UniformLatency({self.low}, {self.high})"
 
 
+@latency_kind("lognormal")
 class LogNormalLatency(LatencyModel):
     """Heavy-tailed latency (log-normal), mimicking wide-area links."""
 
@@ -75,6 +130,7 @@ class LogNormalLatency(LatencyModel):
         return f"LogNormalLatency(mu={self._mu:.3f}, sigma={self._sigma})"
 
 
+@latency_kind("pairwise")
 class PairwiseLatency(LatencyModel):
     """Per-pair base latency (e.g. from a distance matrix) plus optional jitter."""
 

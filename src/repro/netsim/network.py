@@ -1,21 +1,30 @@
 """The message-passing network connecting MCS processes.
 
-The network provides reliable point-to-point channels with configurable
-latency; channels are FIFO by default (per ordered pair of processes), which
-is the quality of service the paper's reference protocols assume ([5]).  A
-non-FIFO mode is available for the ablation benchmarks (the PRAM protocol then
-has to buffer and reorder on per-sender sequence numbers).
+The network provides point-to-point channels whose quality of service is
+decided by a pluggable :class:`~repro.netsim.models.NetworkModel`: the default
+``reliable`` model reproduces the historical behaviour (reliable channels with
+configurable latency — the service the paper's reference protocols assume
+([5])), while the ``faulty`` model injects message loss, duplication, link
+partitions and process crashes (see :mod:`repro.netsim.models`).  Channels
+are FIFO by default (per ordered pair of processes); a non-FIFO mode is
+available for the ablation benchmarks (the PRAM protocol then has to buffer
+and reorder on per-sender sequence numbers).  Duplicate copies injected by a
+faulty model are deliberately *exempt* from the FIFO floor — a retransmitted
+packet arrives whenever it arrives.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Tuple
 
 from ..exceptions import SimulationError
 from .latency import ConstantLatency, LatencyModel
 from .message import Message
 from .simulator import Simulator
 from .stats import NetworkStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .models import NetworkModel
 
 
 class Receiver(Protocol):
@@ -34,9 +43,11 @@ class Network:
         latency: Optional[LatencyModel] = None,
         fifo: bool = True,
         record_trace: bool = False,
+        model: Optional["NetworkModel"] = None,
     ):
         self.simulator = simulator
         self.latency = latency or ConstantLatency(1.0)
+        self.model = model
         self.fifo = fifo
         self.stats = NetworkStats()
         self.record_trace = record_trace
@@ -65,22 +76,35 @@ class Network:
             raise SimulationError("a process does not send messages to itself")
         message.sent_at = self.simulator.now
         self.stats.record_send(message)
-        delay = self.latency.sample(message.src, message.dst)
-        delivery_time = self.simulator.now + delay
-        if self.fifo:
-            channel = (message.src, message.dst)
-            floor = self._last_delivery.get(channel, 0.0)
-            delivery_time = max(delivery_time, floor + 1e-9)
-            self._last_delivery[channel] = delivery_time
+        if self.model is None:
+            delays: Tuple[float, ...] = (self.latency.sample(message.src, message.dst),)
+        else:
+            plan = self.model.plan(message.src, message.dst, self.simulator.now)
+            if plan.dropped:
+                self.stats.record_drop(message, plan.drop_reason or "dropped")
+                return
+            delays = plan.delays
+        for copy, delay in enumerate(delays):
+            delivery_time = self.simulator.now + delay
+            if copy == 0:
+                # The FIFO floor orders the primary copies of a channel; a
+                # duplicate is a retransmission and lands whenever it lands.
+                if self.fifo:
+                    channel = (message.src, message.dst)
+                    floor = self._last_delivery.get(channel, 0.0)
+                    delivery_time = max(delivery_time, floor + 1e-9)
+                    self._last_delivery[channel] = delivery_time
+            else:
+                self.stats.record_duplicate(message)
 
-        def deliver(msg: Message = message) -> None:
-            msg.delivered_at = self.simulator.now
-            self.stats.record_delivery(msg)
-            if self.record_trace:
-                self.trace.append(msg)
-            self._nodes[msg.dst].on_message(msg)
+            def deliver(msg: Message = message) -> None:
+                msg.delivered_at = self.simulator.now
+                self.stats.record_delivery(msg)
+                if self.record_trace:
+                    self.trace.append(msg)
+                self._nodes[msg.dst].on_message(msg)
 
-        self.simulator.schedule_at(delivery_time, deliver)
+            self.simulator.schedule_at(delivery_time, deliver)
 
     def multicast(self, src: int, destinations, template: Callable[[int], Message]) -> int:
         """Send one message per destination (excluding ``src``); returns the count."""

@@ -22,6 +22,9 @@ class NetworkStats:
 
     messages_sent: int = 0
     messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    drops_by_reason: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     payload_bytes: int = 0
     control_bytes: int = 0
     by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
@@ -43,6 +46,15 @@ class NetworkStats:
         self.by_kind[message.kind] += 1
         self.by_pair[(message.src, message.dst)] += 1
         self.control_bytes_by_kind[message.kind] += message.control_bytes
+
+    def record_drop(self, message: Message, reason: str) -> None:
+        """Account for a message the network model decided to lose."""
+        self.messages_dropped += 1
+        self.drops_by_reason[reason] += 1
+
+    def record_duplicate(self, message: Message) -> None:
+        """Account for one extra copy of a message the model duplicated."""
+        self.messages_duplicated += 1
 
     def record_delivery(self, message: Message) -> None:
         """Account for a message delivered to its destination."""
@@ -75,6 +87,8 @@ class NetworkStats:
         return {
             "messages_sent": float(self.messages_sent),
             "messages_delivered": float(self.messages_delivered),
+            "messages_dropped": float(self.messages_dropped),
+            "messages_duplicated": float(self.messages_duplicated),
             "payload_bytes": float(self.payload_bytes),
             "control_bytes": float(self.control_bytes),
             "control_overhead_ratio": self.control_overhead_ratio(),

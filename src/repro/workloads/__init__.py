@@ -2,6 +2,7 @@
 
 from .access_patterns import (
     Access,
+    hoop_relay_script,
     run_script,
     run_workload,
     single_writer_script,
@@ -9,6 +10,7 @@ from .access_patterns import (
 )
 from .distributions import (
     chain_distribution,
+    neighbourhood_over_topology,
     disjoint_blocks,
     full_replication,
     neighbourhood_distribution,
@@ -33,8 +35,10 @@ __all__ = [
     "disjoint_blocks",
     "figure8_network",
     "full_replication",
+    "hoop_relay_script",
     "line_network",
     "neighbourhood_distribution",
+    "neighbourhood_over_topology",
     "random_distribution",
     "random_history",
     "random_network",

@@ -15,9 +15,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.distribution import VariableDistribution
-from ..exceptions import RetryOperation
+from ..exceptions import RetryOperation, ScenarioSpecError
 from ..mcs.system import MCSystem
 from ..netsim.latency import LatencyModel
+from ..spec.registry import register_workload
 
 
 @dataclass(frozen=True)
@@ -30,6 +31,11 @@ class Access:
     value: Optional[str] = None
 
 
+@register_workload(
+    "uniform",
+    params=("operations_per_process", "write_fraction"),
+    description="random interleaving, each process touching only its variables",
+)
 def uniform_access_script(
     distribution: VariableDistribution,
     operations_per_process: int = 20,
@@ -57,6 +63,11 @@ def uniform_access_script(
     return script
 
 
+@register_workload(
+    "single_writer",
+    params=("writes_per_variable", "reads_per_replica"),
+    description="one writer per variable, the PRAM-friendly Section 6 pattern",
+)
 def single_writer_script(
     distribution: VariableDistribution,
     writes_per_variable: int = 10,
@@ -82,6 +93,69 @@ def single_writer_script(
             for _ in range(max(1, reads_per_replica // max(writes_per_variable, 1))):
                 script.append(Access(rng.choice(readers), "read", var))
     rng.shuffle(script)
+    return script
+
+
+@register_workload(
+    "hoop_relay",
+    params=("rounds",),
+    description="writes on the studied variable relayed read-by-read along "
+                "a chain distribution's hoop (the Figure 2 information flow)",
+)
+def hoop_relay_script(
+    distribution: VariableDistribution,
+    rounds: int = 4,
+    seed: int = 0,
+) -> List[Access]:
+    """The Figure 2 information flow as a script, for ``chain`` distributions.
+
+    Per round: the head process writes the studied variable and its first
+    relay variable; each intermediate reads its left relay and writes its
+    right one; the tail process reads the last relay and then the studied
+    variable.  On a correct causal implementation the tail's final read can
+    only return the head's value once the dependency travelled the hoop —
+    which makes this the sharpest pattern to expose fault-injected causality
+    violations (a partitioned head-to-tail link plus a live relay chain).
+
+    ``seed`` is accepted for workload-API uniformity; the script is fully
+    deterministic.
+    """
+    del seed  # deterministic pattern
+    if rounds < 1:
+        raise ScenarioSpecError(f"hoop_relay needs rounds >= 1, got {rounds}")
+    processes = sorted(distribution.processes)
+    head, tail = processes[0], processes[-1]
+    studied = sorted(
+        var for var in distribution.variables
+        if distribution.holders(var) == frozenset({head, tail})
+    )
+    if len(processes) < 3 or not studied:
+        raise ScenarioSpecError(
+            "hoop_relay needs a chain-shaped distribution: >= 3 processes and "
+            "a variable replicated exactly at the two endpoints "
+            "(e.g. the 'chain' family)"
+        )
+    variable = studied[0]
+    relays: List[str] = []
+    for left, right in zip(processes, processes[1:]):
+        shared = sorted(
+            var for var in distribution.variables_of(left)
+            if var != variable and var in distribution.variables_of(right)
+        )
+        if not shared:
+            raise ScenarioSpecError(
+                f"hoop_relay: processes {left} and {right} share no relay variable"
+            )
+        relays.append(shared[0])
+    script: List[Access] = []
+    for round_no in range(rounds):
+        script.append(Access(head, "write", variable, f"{variable}#{round_no}"))
+        script.append(Access(head, "write", relays[0], f"{relays[0]}#{round_no}"))
+        for position, (left, right) in enumerate(zip(processes[1:], processes[2:]), 1):
+            script.append(Access(left, "read", relays[position - 1]))
+            script.append(Access(left, "write", relays[position], f"{relays[position]}#{round_no}"))
+        script.append(Access(tail, "read", relays[-1]))
+        script.append(Access(tail, "read", variable))
     return script
 
 

@@ -23,15 +23,21 @@ import random
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..core.distribution import VariableDistribution
+from ..spec.registry import TOPOLOGY_REGISTRY, register_distribution
 from .topology import WeightedDigraph
 
 
+@register_distribution("full_replication", params=("processes", "variables"),
+                       description="every process replicates every variable (the classical setting)")
 def full_replication(processes: int, variables: int) -> VariableDistribution:
     """Every process replicates every variable."""
     names = [f"x{i}" for i in range(variables)]
     return VariableDistribution.full_replication(range(processes), names)
 
 
+@register_distribution("disjoint_blocks",
+                       params=("groups", "group_size", "variables_per_group"),
+                       description="hoop-free disjoint clusters (Figure 1)")
 def disjoint_blocks(groups: int, group_size: int, variables_per_group: int = 1) -> VariableDistribution:
     """Hoop-free distribution: ``groups`` disjoint clusters of processes.
 
@@ -47,6 +53,8 @@ def disjoint_blocks(groups: int, group_size: int, variables_per_group: int = 1) 
     return VariableDistribution(per_process)
 
 
+@register_distribution("chain", params=("intermediates", "studied_variable"),
+                       description="the Figure 2 hoop, parameterised by its length")
 def chain_distribution(intermediates: int, studied_variable: str = "x") -> VariableDistribution:
     """The hoop pattern of the paper's Figure 2, parameterised by its length.
 
@@ -69,6 +77,10 @@ def chain_distribution(intermediates: int, studied_variable: str = "x") -> Varia
     return VariableDistribution(per_process)
 
 
+@register_distribution("random",
+                       params=("processes", "variables", "replicas_per_variable", "seed"),
+                       seeded=True,
+                       description="each variable replicated at a random subset of processes")
 def random_distribution(
     processes: int,
     variables: int,
@@ -83,6 +95,29 @@ def random_distribution(
     for v in range(variables):
         holders[f"x{v}"] = rng.sample(range(processes), replicas_per_variable)
     return VariableDistribution.from_holders(holders, processes=range(processes))
+
+
+# The topology module is imported above, so its builders are registered and
+# the union of their parameter names is known here.
+_TOPOLOGY_PARAM_UNION = tuple(sorted({
+    param
+    for component in TOPOLOGY_REGISTRY.components()
+    for param in component.params
+}))
+
+
+@register_distribution(
+    "neighbourhood",
+    params=("topology",) + _TOPOLOGY_PARAM_UNION,
+    dynamic_params=True,   # topology params are validated by the topology itself
+    topology_nested=True,
+    description="one variable per node of a topology, replicated at the "
+                "owner and its successors (the Section 6 pattern)",
+)
+def neighbourhood_over_topology(topology: str = "figure8", **params) -> VariableDistribution:
+    """The ``neighbourhood`` family: build a topology by name, then distribute."""
+    graph = TOPOLOGY_REGISTRY.create(topology, **params)
+    return neighbourhood_distribution(graph)
 
 
 def neighbourhood_distribution(graph: WeightedDigraph, prefix: str = "x") -> VariableDistribution:

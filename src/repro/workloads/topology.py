@@ -15,6 +15,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+from ..spec.registry import register_topology
+
 INFINITY = float("inf")
 
 
@@ -109,6 +111,7 @@ class WeightedDigraph:
         return f"<WeightedDigraph |V|={self.node_count} |E|={self.edge_count}>"
 
 
+@register_topology("figure8", description="the paper's Figure 8 example network")
 def figure8_network() -> WeightedDigraph:
     """The 5-node example network of the paper's Figure 8 (reconstructed).
 
@@ -139,6 +142,9 @@ def figure8_network() -> WeightedDigraph:
     return graph
 
 
+@register_topology("random",
+                   params=("nodes", "extra_edges", "seed", "max_weight", "symmetric"),
+                   description="random connected network with extra links")
 def random_network(
     nodes: int,
     extra_edges: int = 0,
@@ -180,6 +186,7 @@ def random_network(
     return graph
 
 
+@register_topology("line", params=("nodes", "weight"))
 def line_network(nodes: int, weight: float = 1.0) -> WeightedDigraph:
     """A simple line (path) network, useful for worst-case hoop scenarios."""
     graph = WeightedDigraph()
@@ -190,6 +197,7 @@ def line_network(nodes: int, weight: float = 1.0) -> WeightedDigraph:
     return graph
 
 
+@register_topology("ring", params=("nodes", "weight"))
 def ring_network(nodes: int, weight: float = 1.0) -> WeightedDigraph:
     """A ring network (degenerates to a line for fewer than three nodes)."""
     if nodes < 3:
@@ -200,6 +208,7 @@ def ring_network(nodes: int, weight: float = 1.0) -> WeightedDigraph:
     return graph
 
 
+@register_topology("star", params=("nodes", "weight"))
 def star_network(nodes: int, weight: float = 1.0) -> WeightedDigraph:
     """A star network: node 1 is the hub, every other node a leaf.
 

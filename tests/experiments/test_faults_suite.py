@@ -1,0 +1,95 @@
+"""End-to-end tests of the built-in ``faults`` suite.
+
+The suite is a double gate: fault-injected runs on the hardened protocols
+must stay consistent (they stall instead of lying), and the scripted
+violation scenarios on the barrier-free protocol must keep producing *proven*
+violations the incremental checkers catch — if the checkers lose that
+sensitivity, the suite fails.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY, run_point, run_suite
+
+
+def faults_specs():
+    specs = REGISTRY.specs("faults")
+    assert specs, "faults suite must be registered"
+    return specs
+
+
+class TestSuiteShape:
+    def test_registered_with_expectations(self):
+        names = {spec.name for spec in faults_specs()}
+        assert {"faults-partition-hoop", "faults-duplication",
+                "faults-loss", "faults-crash-recover"} <= names
+        expectations = {spec.name: spec.expect_consistent
+                        for spec in faults_specs()}
+        assert expectations["faults-partition-hoop"] is False
+        assert expectations["faults-duplication"] is False
+        assert expectations["faults-loss"] is True
+
+    def test_every_fault_kind_is_exercised(self):
+        params = [spec.network.params for spec in faults_specs()]
+        assert any(p.get("partitions") for p in params)
+        assert any(p.get("drop_rate") for p in params)
+        assert any(p.get("duplicate_rate") for p in params)
+        assert any(p.get("crashes") for p in params)
+
+
+class TestScriptedPartitionViolation:
+    def point(self):
+        (spec,) = [s for s in faults_specs()
+                   if s.name == "faults-partition-hoop"]
+        (point,) = spec.expand()
+        return point
+
+    def test_violation_is_proven_and_caught_incrementally(self):
+        record = run_point(self.point())
+        assert record.consistent is False
+        assert record.expected_consistent is False and record.as_expected
+        # fail-fast: the incremental checker proved it mid-run and stopped
+        assert record.stopped_early
+        assert record.first_violation is not None
+        assert "precedes" in record.first_violation or "⊥" in record.first_violation
+        # the partition actually dropped traffic
+        assert record.messages_dropped > 0
+        assert record.network_model == "faulty"
+
+    def test_report_carries_fault_observability(self):
+        from repro.api import Session
+
+        report = Session.from_spec(self.point().spec).run()
+        assert report.consistent is False and report.stopped_early
+        assert report.messages_dropped > 0
+        assert report.drops_by_reason.get("partition", 0) > 0
+        assert report.partition_windows == ((0.0, 4.0),)
+        summary = report.summary()
+        assert "messages dropped" in summary
+        assert "messages duplicated" in summary
+        assert "partition windows" in summary
+        assert "network model" in summary
+
+
+class TestWholeSuiteMeetsExpectations:
+    def test_all_verdicts_as_expected(self):
+        result = run_suite(faults_specs(), cache=None)
+        mismatches = [f"{r.scenario}:{r.protocol}:s{r.seed}"
+                      for r in result.failures]
+        assert mismatches == []
+        # both outcomes occur: proven violations and fault-survivors
+        verdicts = {r.consistent for r in result.records}
+        assert verdicts == {True, False}
+
+    def test_duplication_contrast(self):
+        by_name = {}
+        for spec in faults_specs():
+            if spec.name in ("faults-duplication", "faults-duplication-hardened"):
+                for point in spec.expand():
+                    by_name.setdefault(spec.name, []).append(run_point(point))
+        (naive,) = by_name["faults-duplication"]
+        assert naive.consistent is False
+        assert naive.messages_duplicated > 0
+        for record in by_name["faults-duplication-hardened"]:
+            assert record.consistent is True
+            assert record.messages_duplicated > 0

@@ -106,7 +106,7 @@ class TestCacheBehaviour:
         run_suite([tiny_spec()], cache=cache)
         (entry,) = (tmp_path / "cache").glob("*.json")
         payload = json.loads(entry.read_text(encoding="utf-8"))
-        assert payload["key"]["scenario"] == "tiny"
+        assert payload["key"]["name"] == "tiny"
         assert payload["record"]["scenario"] == "tiny"
 
     def test_clear_and_len(self, tmp_path):
@@ -152,3 +152,19 @@ class TestBatchAndAggregation:
     def test_failures_property_empty_on_green_runs(self):
         result = run_suite([tiny_spec()], cache=None)
         assert result.failures == []
+
+
+class TestCacheVsExpectations:
+    def test_cached_record_uses_current_expectation(self, tmp_path):
+        # expect_consistent is excluded from the cache key, so a cache hit
+        # must be re-stamped with the *current* expectation, not the stored
+        # one — otherwise editing a scenario's expectation is invisible
+        # until the cache is cleared.
+        cache = ResultCache(tmp_path / "cache")
+        run_suite([tiny_spec()], cache=cache)
+        flipped = tiny_spec(expect_consistent=False)
+        result = run_suite([flipped], cache=cache)
+        (record,) = result.records
+        assert record.cached is True
+        assert record.expected_consistent is False
+        assert result.failures  # consistent run vs flipped expectation

@@ -187,3 +187,58 @@ class TestSequencerSC:
     def test_reads_do_not_block_without_pending_writes(self):
         system = MCSystem(pair_distribution(), protocol="sequencer_sc")
         assert system.process(1).read("x") is BOTTOM
+
+
+class TestDuplicateToleranceWhilePending:
+    """Duplicates of an update still buffered (not yet deliverable) must be
+    dropped too — a faulty network can duplicate a message whose original is
+    waiting on a causal dependency."""
+
+    def test_causal_full_ignores_duplicate_of_pending_update(self):
+        from repro.netsim.message import Message
+
+        system = MCSystem(pair_distribution(), protocol="causal_full")
+        receiver = system.process(1)
+        # p0's *second* write: needs vc[0] == 1 first, so it buffers.
+        update = Message(src=0, dst=1, kind="update", variable="x",
+                         payload={"value": "v2"},
+                         control={"sender": 0, "vc": {0: 2, 1: 0, 2: 0},
+                                  "_wid": [0, 2]})
+        receiver.on_message(update)
+        assert receiver.pending_updates() == 1
+        receiver.on_message(update)  # duplicate of the buffered original
+        assert receiver.pending_updates() == 1
+        # The missing first write arrives: everything must drain, the
+        # duplicate must not survive as an undeliverable pending entry.
+        receiver.on_message(Message(
+            src=0, dst=1, kind="update", variable="x",
+            payload={"value": "v1"},
+            control={"sender": 0, "vc": {0: 1, 1: 0, 2: 0}, "_wid": [0, 1]}))
+        assert receiver.pending_updates() == 0
+        assert receiver.local_value("x") == "v2"
+
+    def test_causal_partial_delivers_duplicated_pending_update_once(self):
+        from repro.netsim.message import Message
+
+        system = MCSystem(pair_distribution(), protocol="causal_partial")
+        receiver = system.process(1)
+        delivered = []
+        original_deliver = receiver._deliver
+        receiver._deliver = lambda message: (
+            delivered.append(tuple(message.control["wid"])),
+            original_deliver(message),
+        )
+        # Update on x depending on a write on y that p1 (holder of y) has
+        # not applied yet: it buffers.
+        update = Message(src=0, dst=1, kind="update", variable="x",
+                         payload={"value": "vx"},
+                         control={"wid": [0, 2], "deps": [[0, 1, "y"]]})
+        receiver.on_message(update)
+        assert receiver.pending_updates() == 1
+        receiver.on_message(update)  # duplicate while the original is pending
+        assert receiver.pending_updates() == 1
+        receiver.on_message(Message(src=0, dst=1, kind="update", variable="y",
+                                    payload={"value": "vy"},
+                                    control={"wid": [0, 1], "deps": []}))
+        assert receiver.pending_updates() == 0
+        assert delivered.count((0, 2)) == 1  # applied exactly once

@@ -1,0 +1,164 @@
+"""Round-trip and typed-validation tests of the canonical ScenarioSpec."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ScenarioSpecError
+from repro.experiments.suites import builtin_scenarios
+from repro.spec import (
+    CheckSpec,
+    DistributionSpec,
+    NetworkSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+
+def every_builtin_point():
+    for spec in builtin_scenarios():
+        for point in spec.expand():
+            yield point
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="tiny",
+        protocol=ProtocolSpec("pram_partial"),
+        distribution=DistributionSpec("chain", {"intermediates": 1}),
+        workload=WorkloadSpec("uniform", {"operations_per_process": 3}),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestRoundTrip:
+    def test_every_builtin_point_round_trips(self):
+        # paper + stress + faults: the canonical spec survives JSON exactly.
+        seen_suites = set()
+        for point in every_builtin_point():
+            seen_suites.add(point.suite)
+            spec = point.spec
+            payload = json.loads(json.dumps(spec.to_dict()))
+            clone = ScenarioSpec.from_dict(payload)
+            assert clone == spec, spec.name
+        assert {"paper", "stress", "faults"} <= seen_suites
+
+    def test_round_trip_preserves_content_hash(self):
+        from repro.experiments.spec import ScenarioPoint
+
+        for point in every_builtin_point():
+            clone = ScenarioPoint(
+                spec=ScenarioSpec.from_dict(point.spec.to_dict()),
+                suite=point.suite,
+                paper_ref=point.paper_ref,
+                expect_consistent=point.expect_consistent,
+            )
+            assert clone.content_hash() == point.content_hash()
+
+    def test_every_builtin_point_validates(self):
+        for point in every_builtin_point():
+            point.spec.validate()
+
+    def test_network_spec_round_trips_faults(self):
+        spec = NetworkSpec("faulty", {
+            "latency": {"kind": "uniform", "low": 0.2, "high": 0.4},
+            "drop_rate": 0.1,
+            "partitions": [{"start": 0.0, "end": 2.0, "groups": [[0, 1], [2]]}],
+            "crashes": [{"process": 1, "start": 1.0, "end": 2.0}],
+        })
+        clone = NetworkSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        clone.validate()
+
+
+class TestTypedErrors:
+    def test_unknown_top_level_key(self):
+        data = make_spec().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ScenarioSpecError, match="unknown keys"):
+            ScenarioSpec.from_dict(data)
+
+    def test_unknown_nested_keys(self):
+        for section, payload in [
+            ("protocol", {"name": "pram_partial", "bogus": 1}),
+            ("distribution", {"family": "chain", "bogus": 1}),
+            ("workload", {"pattern": "uniform", "bogus": 1}),
+            ("network", {"model": "reliable", "bogus": 1}),
+            ("check", {"bogus": 1}),
+        ]:
+            data = make_spec().to_dict()
+            data[section] = payload
+            with pytest.raises(ScenarioSpecError, match="unknown keys"):
+                ScenarioSpec.from_dict(data)
+
+    def test_missing_required_keys(self):
+        with pytest.raises(ScenarioSpecError, match="misses keys"):
+            ScenarioSpec.from_dict({"name": "x"})
+        with pytest.raises(ScenarioSpecError, match="misses the 'name' key"):
+            ProtocolSpec.from_dict({})
+        with pytest.raises(ScenarioSpecError, match="misses the 'family' key"):
+            DistributionSpec.from_dict({})
+        with pytest.raises(ScenarioSpecError, match="misses the 'pattern' key"):
+            WorkloadSpec.from_dict({})
+
+    def test_unknown_component_names_are_typed_not_keyerrors(self):
+        # .validate() raises the typed family, never a bare KeyError
+        for spec in (
+            make_spec(protocol=ProtocolSpec("nope")),
+            make_spec(distribution=DistributionSpec("nope")),
+            make_spec(workload=WorkloadSpec("nope")),
+            make_spec(network=NetworkSpec("nope")),
+            make_spec(check=CheckSpec(criteria=("nope",))),
+            make_spec(check=CheckSpec(policy="nope")),
+        ):
+            with pytest.raises(ScenarioSpecError):
+                spec.validate()
+
+    def test_bad_values_are_typed(self):
+        with pytest.raises(ScenarioSpecError, match="drop_rate"):
+            make_spec(network=NetworkSpec("faulty", {"drop_rate": 3})).validate()
+        with pytest.raises(ScenarioSpecError, match="write_fraction"):
+            make_spec(workload=WorkloadSpec(
+                "uniform", {"write_fraction": 1.5})).validate()
+        with pytest.raises(ScenarioSpecError, match="network spec invalid"):
+            make_spec(network=NetworkSpec("faulty", {
+                "partitions": [{"start": 0.0, "end": 1.0}],  # nothing severed
+            })).validate()
+        with pytest.raises(ScenarioSpecError, match="seed must be an integer"):
+            data = make_spec().to_dict()
+            data["seed"] = "zero"
+            ScenarioSpec.from_dict(data)
+
+    def test_non_mapping_input(self):
+        with pytest.raises(ScenarioSpecError, match="must be a mapping"):
+            ScenarioSpec.from_dict("not a dict")
+
+
+class TestTopologySpec:
+    def test_nested_view_of_neighbourhood(self):
+        dist = DistributionSpec("neighbourhood", {"topology": "ring", "nodes": 5})
+        topology = dist.topology_spec()
+        assert topology == TopologySpec("ring", {"nodes": 5})
+        graph = topology.build()
+        assert len(graph.nodes) == 5
+
+    def test_flat_families_have_no_topology(self):
+        assert DistributionSpec("chain", {"intermediates": 1}).topology_spec() is None
+
+    def test_foreign_topology_param_rejected(self):
+        dist = DistributionSpec("neighbourhood", {"topology": "figure8",
+                                                  "nodes": 8})
+        with pytest.raises(ScenarioSpecError, match="does not accept"):
+            dist.validate()
+
+
+class TestCriteriaResolution:
+    def test_defaults_to_protocol_claim(self):
+        assert make_spec().criteria() == ("pram",)
+
+    def test_explicit_criteria_win(self):
+        spec = make_spec(check=CheckSpec(criteria=("causal", "pram")))
+        assert spec.criteria() == ("causal", "pram")

@@ -44,3 +44,65 @@ class TestCommands:
         assert main(["reproduce"]) == 0
         out = capsys.readouterr().out
         assert "All 10 reproductions match" in out
+
+    def test_protocols_list(self, capsys):
+        assert main(["protocols", "list", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pram_partial", "causal_partial", "causal_full",
+                     "sequencer_sc", "best_effort"):
+            assert name in out
+        assert "criterion" in out
+        assert "network models" in out  # the other registries, via --verbose
+
+    def test_run_with_fault_injection_flags(self, capsys):
+        code = main(["run", "--protocol", "pram_partial",
+                     "--distribution", "chain", "--dist-param", "intermediates=1",
+                     "--workload", "uniform",
+                     "--workload-param", "operations_per_process=4",
+                     "--network", "faulty", "--net-param", "drop_rate=0.2",
+                     "--net-param", "latency=0.1"])
+        captured = capsys.readouterr()
+        assert code == 0  # loss stalls PRAM, never breaks it
+        assert "network model       : faulty" in captured.out
+        assert "messages dropped" in captured.out
+        # fault injection downgrades to the polynomial pre-check by default
+        # (the exact search blows up on stall-heavy histories)
+        assert "polynomial" in captured.err
+        assert "(heuristic)" in captured.out
+
+    def test_run_scenario_file(self, tmp_path, capsys):
+        import json
+
+        scenario = {
+            "name": "cli-partitioned-hoop",
+            "protocol": "best_effort",
+            "distribution": {"family": "chain", "params": {"intermediates": 1}},
+            "workload": {"pattern": "hoop_relay", "params": {"rounds": 6}},
+            "network": {"model": "faulty",
+                        "params": {"latency": 0.1,
+                                   "partitions": [{"start": 0.0, "end": 4.0,
+                                                   "links": [[0, 2]]}]}},
+            "check": {"criteria": ["causal"], "policy": "fail_fast",
+                      "exact": False},
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(scenario), encoding="utf-8")
+        assert main(["run", "--scenario", str(path)]) == 1  # proven violation
+        out = capsys.readouterr().out
+        assert "NOT consistent" in out
+        assert "partition windows   : [0, 4)" in out
+
+    def test_run_scenario_file_errors(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        assert main(["run", "--scenario", str(missing)]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "bogus": 1}', encoding="utf-8")
+        assert main(["run", "--scenario", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error" in err
+
+    def test_experiments_run_faults_suite_gate(self, capsys):
+        assert main(["experiments", "run", "--suite", "faults",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "NO (expected)" in out

@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-checkers bench-checkers-baseline bench-streaming experiments experiments-smoke faults clean-cache
+.PHONY: test bench bench-checkers bench-checkers-baseline bench-streaming bench-apps bench-apps-baseline experiments experiments-smoke faults apps clean-cache
 
 # Tier-1 verification (the command ROADMAP.md records).
 test:
@@ -32,6 +32,25 @@ bench-checkers-baseline:
 bench-streaming:
 	$(PYTHON) -m pytest benchmarks/test_bench_streaming.py --benchmark-only -q
 	$(PYTHON) benchmarks/check_regression.py --streaming
+
+# Application gate: run the spec-driven apps suite (the four registered
+# applications over reliable and faulty networks) with expected-result
+# gating — routes/solutions must keep validating against the centralised
+# reference ground truth, and the partitioned-barrier scenario must keep
+# being *diagnosed* as a livelock (exit 1 on any expectation mismatch).
+apps:
+	$(PYTHON) -m repro experiments run --suite apps --no-cache
+
+# Application benchmark gate: Bellman-Ford session wall-clock per delivered
+# message, calibration-normalised against benchmarks/apps_baseline.json
+# (>2x regression fails), plus the timed pytest-benchmark series.
+bench-apps:
+	$(PYTHON) -m pytest benchmarks/test_bench_apps.py --benchmark-only -q
+	$(PYTHON) benchmarks/check_regression.py --apps
+
+# Re-measure and commit a new apps baseline (after a deliberate change).
+bench-apps-baseline:
+	$(PYTHON) benchmarks/check_regression.py --update-apps
 
 # One-scenario end-to-end check of the experiment orchestrator.
 experiments-smoke:

@@ -19,15 +19,24 @@ history, and the run fails unless the incremental path processed at least
 ``STREAM_RATIO_FLOOR`` times fewer operations.  The measured timings and the
 ops ratio live in the same baseline JSON.
 
+The application gate (``--apps`` / ``make bench-apps``) measures the
+spec-driven Bellman-Ford session (the ``Session(app=...)`` path redesigned
+over the DSM runtime) and normalises its wall-clock *per delivered message*
+against ``apps_baseline.json`` — the same calibration trick, so a >2×
+excursion means the application drive loop regressed algorithmically.
+
 Usage::
 
     python benchmarks/check_regression.py            # compare against baseline
     python benchmarks/check_regression.py --streaming  # streaming gate only
+    python benchmarks/check_regression.py --apps     # application gate only
     python benchmarks/check_regression.py --update   # re-measure and commit a
                                                      # new baseline JSON
+    python benchmarks/check_regression.py --update-apps  # new apps baseline
 
 Run via ``make bench-checkers`` / ``make bench-streaming`` /
-``make bench-checkers-baseline``.
+``make bench-apps`` / ``make bench-checkers-baseline`` /
+``make bench-apps-baseline``.
 """
 
 import argparse
@@ -40,6 +49,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 BASELINE_PATH = Path(__file__).with_name("checkers_baseline.json")
+APPS_BASELINE_PATH = Path(__file__).with_name("apps_baseline.json")
 TOLERANCE = 2.0
 #: Timings under this many milliseconds are timer-granularity/warm-up noise
 #: that does not cancel against the ~10 ms calibration loop; they are
@@ -165,6 +175,88 @@ def measure_streaming() -> dict:
     }
 
 
+def measure_apps() -> dict:
+    """Bellman-Ford application session wall-clock per delivered message.
+
+    Runs the spec-driven ``Session(app=...)`` path (no checking: the gate
+    targets the application drive loop, not the checkers) and divides the
+    median wall time by the number of messages the network delivered — the
+    per-message cost the application layer adds on top of the protocol.
+    """
+    from repro.api import Session
+
+    samples, calibration = [], []
+    delivered = 0
+    for _ in range(REPEATS):
+        calibration.append(_calibration_sample())
+        session = Session(
+            protocol="pram_partial",
+            app=("bellman_ford", {"topology": "figure8", "source": 1}),
+            check=False,
+        )
+        started = time.perf_counter()
+        report = session.run()
+        samples.append(time.perf_counter() - started)
+        if report.app_correct is not True:
+            raise SystemExit(
+                "benchmark Bellman-Ford session no longer validates against "
+                "the reference; fix the application layer before re-baselining"
+            )
+        delivered = session.system.stats.messages_delivered
+    if not delivered:
+        raise SystemExit("benchmark Bellman-Ford session delivered no messages")
+    return {
+        "calibration_ms": round(statistics.median(calibration) * 1e3, 3),
+        "bellman_ford_ms_per_delivered_message": round(
+            statistics.median(samples) * 1e3 / delivered, 4
+        ),
+        "bellman_ford_messages_delivered": delivered,
+    }
+
+
+def check_apps(measured: dict) -> int:
+    """Compare the apps measurement against its committed baseline (gate)."""
+    for key, value in sorted(measured.items()):
+        print(f"{key}: {value}")
+    if not APPS_BASELINE_PATH.exists():
+        print(f"no baseline at {APPS_BASELINE_PATH}; run with --update-apps first",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(APPS_BASELINE_PATH.read_text())
+    reference = baseline.get("bellman_ford_ms_per_delivered_message")
+    reference_cal = baseline.get("calibration_ms") or 1.0
+    current = measured["bellman_ford_ms_per_delivered_message"]
+    current_cal = measured["calibration_ms"]
+    failures = []
+    if measured.get("bellman_ford_messages_delivered") != \
+            baseline.get("bellman_ford_messages_delivered"):
+        failures.append(
+            "delivered-message count changed "
+            f"({baseline.get('bellman_ford_messages_delivered')} -> "
+            f"{measured.get('bellman_ford_messages_delivered')}); the workload "
+            "drifted — refresh the baseline deliberately (--update-apps)"
+        )
+    if not reference:
+        failures.append("baseline misses bellman_ford_ms_per_delivered_message")
+    else:
+        ratio = (current / current_cal) / (reference / reference_cal)
+        status = "ok" if ratio <= TOLERANCE else "REGRESSION"
+        print(f"bellman_ford_ms_per_delivered_message: {current} ms vs baseline "
+              f"{reference} ms ({ratio:.2f}x normalised) {status}")
+        if ratio > TOLERANCE:
+            failures.append(
+                f"bellman_ford_ms_per_delivered_message: {ratio:.2f}x slower "
+                f"than baseline (limit {TOLERANCE}x)"
+            )
+    if failures:
+        print("\napplication benchmark gate failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("application path within tolerance of the committed baseline")
+    return 0
+
+
 def _calibration_sample() -> float:
     """One timing of a fixed pure-Python loop, in seconds.
 
@@ -230,7 +322,25 @@ def main(argv=None) -> int:
     parser.add_argument("--update", action="store_true", help="rewrite the baseline JSON")
     parser.add_argument("--streaming", action="store_true",
                         help="run only the fail-fast streaming vs batch gate")
+    parser.add_argument("--apps", action="store_true",
+                        help="run only the application (Bellman-Ford "
+                             "ms/delivered-message) gate")
+    parser.add_argument("--update-apps", action="store_true",
+                        help="re-measure and rewrite the apps baseline JSON")
     args = parser.parse_args(argv)
+
+    if args.update_apps:
+        measured = measure_apps()
+        APPS_BASELINE_PATH.write_text(
+            json.dumps(measured, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"apps baseline updated: {APPS_BASELINE_PATH}")
+        for key, value in sorted(measured.items()):
+            print(f"  {key}: {value}")
+        return 0
+
+    if args.apps:
+        return check_apps(measure_apps())
 
     if args.streaming:
         measured = measure_streaming()

@@ -32,8 +32,8 @@ def run_on(graph, source, label):
         for node in graph.nodes
     ]
     print(render_table(rows, title="Least-cost routes"))
-    pram = get_checker("pram").check(run.outcome.history, read_from=run.outcome.read_from)
-    efficiency = run.outcome.efficiency
+    pram = get_checker("pram").check(run.report.history, read_from=run.report.read_from)
+    efficiency = run.report.efficiency
     print(f"distributed run matches reference : {run.correct}")
     print(f"recorded history is PRAM consistent: {pram.consistent}")
     print(f"messages exchanged                 : {efficiency.messages_sent}")
@@ -49,12 +49,28 @@ def show_distribution(graph):
     print()
 
 
+def run_spec_driven_under_faults() -> None:
+    """The same case study as one spec-driven Session over a faulty network."""
+    from repro import Session
+
+    report = Session(
+        protocol="pram_partial",
+        app=("bellman_ford", {"topology": "figure8", "source": 1}),
+        network=("faulty", {"latency": 0.1, "duplicate_rate": 0.3}),
+        exact=False,
+    ).run()
+    print("=== Spec-driven run over a duplicating faulty network ===")
+    print(report.summary())
+    print()
+
+
 def main() -> None:
     figure8 = figure8_network()
     show_distribution(figure8)
     run_on(figure8, source=1, label="Figure 8 network")
     run_on(random_network(nodes=8, extra_edges=6, seed=3), source=1,
            label="Random 8-node network")
+    run_spec_driven_under_faults()
 
 
 if __name__ == "__main__":

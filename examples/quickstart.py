@@ -11,14 +11,15 @@ This walks through the library in a few lines:
    against the consistency criteria (causal vs. lazy causal);
 4. build the share graph of a variable distribution, find hoops and the
    x-relevant processes of Theorem 1;
-5. run a tiny program on the partially replicated PRAM memory.
+5. run application programs on the partially replicated PRAM memory through
+   the same Session facade (ad-hoc programs, then a registered app).
 
 Run with ``python examples/quickstart.py``.
 """
 
 from repro import (
     BOTTOM,
-    DistributedSharedMemory,
+    AppInstance,
     HistoryBuilder,
     Session,
     ShareGraph,
@@ -110,8 +111,13 @@ def analyse_share_graph() -> None:
 
 
 def run_tiny_dsm_program() -> None:
+    """Application programs run through the same Session facade.
+
+    An ad-hoc :class:`repro.AppInstance` wraps the programs; registered
+    apps (``Session(app="bellman_ford")``, see ``repro apps list``)
+    additionally bring a validator against the reference ground truth.
+    """
     distribution = VariableDistribution({0: {"greeting"}, 1: {"greeting"}})
-    dsm = DistributedSharedMemory(distribution, protocol="pram_partial")
 
     def writer(ctx):
         ctx.write("greeting", "hello from p0")
@@ -123,10 +129,24 @@ def run_tiny_dsm_program() -> None:
             yield
         return ctx.read("greeting")
 
-    outcome = dsm.run({0: writer, 1: reader})
-    print("DSM run results:", outcome.results)
-    print("Messages exchanged:", outcome.efficiency.messages_sent)
-    print("Control bytes:", outcome.efficiency.control_bytes)
+    app = AppInstance(name="greeting", distribution=distribution,
+                      programs={0: writer, 1: reader})
+    report = Session(protocol="pram_partial", app=app).run()
+    print("DSM run results:", report.app_results)
+    print("History PRAM-consistent:", report.consistent)
+    print("Messages exchanged:", report.efficiency.messages_sent)
+    print("Control bytes:", report.efficiency.control_bytes)
+
+
+def run_registered_app() -> None:
+    """The Section 6 case study, one line: a registered app by name."""
+    report = Session(
+        protocol="pram_partial",
+        app=("bellman_ford", {"topology": "figure8", "source": 1}),
+        exact=False,
+    ).run()
+    print("Bellman-Ford routes validated:", report.app_correct)
+    print("Routes:", report.app_results)
 
 
 def main() -> None:
@@ -135,6 +155,7 @@ def main() -> None:
     check_history()
     analyse_share_graph()
     run_tiny_dsm_program()
+    run_registered_app()
 
 
 if __name__ == "__main__":

@@ -12,10 +12,13 @@ The package is organised bottom-up:
   causal memory, partial-replication causal memory, partial-replication PRAM
   memory and a sequencer-based sequentially consistent baseline;
 * :mod:`repro.dsm` — the application-facing distributed shared memory:
-  variable distributions, generator-based application programs and the
-  runtime scheduling them over the simulator;
-* :mod:`repro.apps` — the paper's Bellman-Ford case study and further
-  oblivious computations (matrix product, asynchronous Jacobi);
+  generator-based application programs, the runtime scheduling them over the
+  simulator, and the :class:`~repro.dsm.AppInstance` plugin contract;
+* :mod:`repro.apps` — the four registered applications: the paper's
+  Bellman-Ford case study, further oblivious computations (matrix product,
+  asynchronous Jacobi), a producer/consumer pipeline, and their centralised
+  reference ground truths — runnable as the ``app`` axis of any scenario
+  (``Session(app="bellman_ford")``);
 * :mod:`repro.workloads` — history, distribution and topology generators;
 * :mod:`repro.analysis` — the reproduction harness: every figure and theorem
   of the paper, plus the quantitative control-overhead studies.
@@ -45,6 +48,7 @@ the facade and incremental-checker reference.
 
 from .api import CheckPolicy, RunReport, Session
 from .spec import (
+    AppSpec,
     CheckSpec,
     DistributionSpec,
     NetworkSpec,
@@ -52,6 +56,7 @@ from .spec import (
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
+    register_app,
     register_distribution,
     register_network_model,
     register_protocol,
@@ -72,11 +77,21 @@ from .core import (
     witness_history,
 )
 from .core.consistency import all_checkers, get_checker
-from .dsm import DistributedSharedMemory, DSMRuntime, ProcessContext, RunOutcome
+from .dsm import (
+    AppInstance,
+    AppVerdict,
+    DistributedSharedMemory,
+    DSMRuntime,
+    ProcessContext,
+    RunOutcome,
+)
 from .mcs import MCSystem, PROTOCOLS
 from .version import __version__
 
 __all__ = [
+    "AppInstance",
+    "AppSpec",
+    "AppVerdict",
     "BOTTOM",
     "CheckPolicy",
     "CheckSpec",
@@ -88,6 +103,7 @@ __all__ = [
     "ScenarioSpec",
     "TopologySpec",
     "WorkloadSpec",
+    "register_app",
     "register_distribution",
     "register_network_model",
     "register_protocol",

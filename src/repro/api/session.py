@@ -1,15 +1,23 @@
 """The streaming :class:`Session` facade and its :class:`RunReport`.
 
 A session owns one end-to-end run: it builds the variable distribution and
-the scripted workload (from concrete objects or declarative specs), wires a
-:class:`~repro.mcs.system.MCSystem` over the discrete-event simulator, and
-attaches incremental consistency checkers to the history recorder so every
-operation is checked *as it is recorded*.  The
+the scripted workload *or* application programs (from concrete objects or
+declarative specs), wires a :class:`~repro.mcs.system.MCSystem` over the
+discrete-event simulator, and attaches incremental consistency checkers to
+the history recorder so every operation is checked *as it is recorded*.  The
 :class:`~repro.core.consistency.incremental.CheckPolicy` decides how eagerly
 the polynomial prefix checks run and whether a proven violation aborts the
 run (fail-fast) — the property that makes adversarial and long-horizon
 workloads affordable: a violation at operation 50 costs 50 operations, not
 5 000.
+
+Application runs (``Session(app=...)``, the paper's Section 6 case study)
+drive a :class:`~repro.dsm.runtime.DSMRuntime` instead of a script: the
+app's registered factory supplies the variable distribution, one program per
+process and the result validator, the programs' operations stream into the
+same incremental checkers via :meth:`HistoryRecorder.subscribe`, and the
+report carries the validated-or-diagnosed application verdict next to the
+consistency verdicts, efficiency metrics and fault/network statistics.
 """
 
 from __future__ import annotations
@@ -28,7 +36,9 @@ from ..core.consistency.incremental import (
 from ..core.distribution import VariableDistribution
 from ..core.history import History
 from ..core.operations import Operation
-from ..exceptions import SessionError
+from ..dsm.app import AppInstance, AppVerdict
+from ..dsm.runtime import DSMRuntime
+from ..exceptions import LivelockError, SessionError, SimulationError
 from ..mcs.metrics import EfficiencyReport, relevance_violations
 from ..mcs.recorder import HistoryRecorder
 from ..mcs.system import MCSystem
@@ -36,11 +46,13 @@ from ..netsim.latency import LatencyModel
 from ..netsim.models import NetworkModel
 from ..spec.registry import resolve_protocol
 from ..spec.scenario import (
+    AppSpec,
     DistributionSpec,
     NetworkSpec,
     ProtocolSpec,
     ScenarioSpec,
     WorkloadSpec,
+    ensure_app_protocol_compatible,
 )
 from ..workloads.access_patterns import Access, drive_script
 
@@ -60,19 +72,39 @@ WorkloadLike = Union[Sequence[Access], WorkloadSpec, Tuple[str, Mapping[str, Any
 #: model name, or a ``(model, params)`` pair.
 NetworkLike = Union[NetworkSpec, NetworkModel, Tuple[str, Mapping[str, Any]], str]
 
+#: What ``Session(app=...)`` accepts: a concrete instance, a typed spec, a
+#: registered app name, or a ``(name, params)`` pair.
+AppLike = Union[AppInstance, AppSpec, Tuple[str, Mapping[str, Any]], str]
+
+
+class _AbortAppRun(Exception):
+    """Control flow: stop the simulator because fail-fast proved a violation."""
+
 
 @dataclass
 class RunReport:
-    """Everything one streaming run produced.
+    """Everything one run produced — the *single* report type of the stack.
 
     ``results`` maps each checked criterion to its
     :class:`~repro.core.consistency.base.CheckResult`; ``consistent`` is the
     conjunction of the verdicts (``None`` when checking was disabled).
-    ``operations_executed`` counts the script operations actually driven —
-    strictly less than ``operations_total`` when a fail-fast policy stopped
-    the run early (``stopped_early``).  ``ops_checked`` counts the operations
-    the checkers observed, the metric the streaming benchmark compares
-    against batch checking.
+    ``operations_executed`` counts the operations actually performed — for
+    scripted workloads the script operations driven (strictly less than
+    ``operations_total`` when a fail-fast policy stopped the run early,
+    ``stopped_early``), for application runs the operations the history
+    recorder logged (its delivery log, so the count is correct even with
+    ``keep_history=False``).  ``ops_checked`` counts the operations the
+    checkers observed, the metric the streaming benchmark compares against
+    batch checking.
+
+    Application runs additionally fill the ``app*`` fields: ``app_results``
+    maps each process to its program's return value, ``app_correct`` is the
+    verdict of the app's validator against the centralised reference ground
+    truth (``None`` when the run could not be validated), and
+    ``app_diagnosis`` explains failures — a result mismatch, a livelocked
+    spin barrier under fault injection, a fail-fast abort.  ``sim_time`` is
+    the virtual clock at the end of the run; ``program_steps`` and
+    ``program_retries`` are the per-process scheduler diagnostics.
     """
 
     protocol: str
@@ -89,6 +121,7 @@ class RunReport:
     relevance_violations: int = 0
     events_processed: int = 0
     elapsed_s: float = 0.0
+    sim_time: float = 0.0
     history: Optional[History] = None
     read_from: Optional[Dict[Operation, Optional[Operation]]] = None
     network_model: str = "reliable"
@@ -96,9 +129,32 @@ class RunReport:
     messages_duplicated: int = 0
     drops_by_reason: Dict[str, int] = field(default_factory=dict)
     partition_windows: Tuple[Tuple[float, float], ...] = ()
+    app: Optional[str] = None
+    app_results: Dict[int, Any] = field(default_factory=dict)
+    app_expected: Any = None
+    app_correct: Optional[bool] = None
+    app_diagnosis: str = ""
+    program_steps: Dict[int, int] = field(default_factory=dict)
+    program_retries: Dict[int, int] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
-        return self.consistent is not False
+        return self.consistent is not False and self.app_correct is not False
+
+    def operations(self) -> int:
+        """Number of shared-memory operations performed during the run.
+
+        Counted from the recorder's delivery log, so the answer stays
+        correct when ``keep_history=False`` buffers no
+        :class:`~repro.core.history.History` (the historical
+        ``RunOutcome.operations()`` read ``len(history)`` and drifted from
+        the efficiency metrics in that mode).
+        """
+        return self.operations_executed
+
+    def app_summary(self) -> str:
+        """One-line digest of the application verdict."""
+        return AppVerdict(correct=self.app_correct,
+                          diagnosis=self.app_diagnosis).summary()
 
     def result(self, criterion: Optional[str] = None) -> CheckResult:
         """The check result for ``criterion`` (default: the only one checked)."""
@@ -119,11 +175,15 @@ class RunReport:
 
     def summary(self) -> str:
         """Multi-line human-readable digest (the CLI's output)."""
-        lines = [
-            f"protocol            : {self.protocol}",
+        lines = [f"protocol            : {self.protocol}"]
+        if self.app is not None:
+            lines.append(f"application         : {self.app}")
+        lines.append(
             f"operations          : {self.operations_executed}/{self.operations_total}"
-            + ("  (stopped early)" if self.stopped_early else ""),
-        ]
+            + ("  (stopped early)" if self.stopped_early else "")
+        )
+        if self.app is not None:
+            lines.append(f"app result          : {self.app_summary()}")
         for criterion in self.criteria:
             result = self.results.get(criterion)
             # NB: CheckResult.__bool__ is the *verdict*, so test for None.
@@ -166,11 +226,32 @@ class Session:
     distribution:
         A :class:`~repro.core.distribution.VariableDistribution`, a
         :class:`~repro.spec.DistributionSpec`, a family name, or a
-        ``(family, params)`` pair.
+        ``(family, params)`` pair.  Omitted for application runs — the app
+        brings its own distribution.
     workload:
         A concrete ``Sequence[Access]`` script, a
         :class:`~repro.spec.WorkloadSpec`, a pattern name, or a
-        ``(pattern, params)`` pair.
+        ``(pattern, params)`` pair.  Mutually exclusive with ``app``.
+    app:
+        Application programs to run instead of a scripted workload: a
+        :class:`~repro.dsm.AppInstance`, an :class:`~repro.spec.AppSpec`, a
+        registered app name, or a ``(name, params)`` pair.  The programs run
+        on a :class:`~repro.dsm.runtime.DSMRuntime` over the session's
+        system; their operations stream into the incremental checkers and
+        their results are validated by the app's registered validator.
+        Direct-style apps are rejected on blocking protocols with a typed
+        :class:`~repro.exceptions.AppCompatibilityError`.
+    step_delay / retry_delay / max_steps_per_process / max_events:
+        Scheduling knobs of the application runtime (ignored for scripted
+        workloads); an :class:`~repro.spec.AppSpec` carrying ``max_steps``
+        overrides the step budget.
+    diagnose_app_failures:
+        When ``True`` (default) a :class:`~repro.exceptions.LivelockError`
+        or other :class:`~repro.exceptions.SimulationError` raised while
+        running an application is *diagnosed* — the report carries
+        ``app_correct=False`` and the failure text in ``app_diagnosis`` —
+        instead of propagating; fault-injected application scenarios rely on
+        this to gate on the diagnosis.  ``False`` restores raising.
     network:
         A :class:`~repro.spec.NetworkSpec`, a concrete
         :class:`~repro.netsim.models.NetworkModel`, a model name or a
@@ -205,6 +286,7 @@ class Session:
         distribution: Optional[DistributionLike] = None,
         workload: Optional[WorkloadLike] = None,
         *,
+        app: Optional[AppLike] = None,
         seed: int = 0,
         check: bool = True,
         criteria: Union[None, str, Sequence[str]] = None,
@@ -218,15 +300,27 @@ class Session:
         pool: Optional[Any] = None,
         settle_every: int = 1,
         max_retries: int = 1_000,
+        step_delay: float = 0.1,
+        retry_delay: float = 0.5,
+        max_steps_per_process: int = 200_000,
+        max_events: int = 5_000_000,
+        diagnose_app_failures: bool = True,
     ) -> None:
         if isinstance(protocol, ProtocolSpec):
             protocol_options = {**protocol.options, **(protocol_options or {})}
             protocol = protocol.name
         component = resolve_protocol(protocol)  # same typed error as MCSystem
-        if distribution is None:
-            raise SessionError("Session needs a distribution")
-        if workload is None:
-            raise SessionError("Session needs a workload")
+        if app is None:
+            if distribution is None:
+                raise SessionError("Session needs a distribution")
+            if workload is None:
+                raise SessionError("Session needs a workload")
+        elif workload is not None:
+            raise SessionError("pass an app or a workload, not both")
+        elif distribution is not None:
+            raise SessionError(
+                "an app brings its own distribution; don't pass one"
+            )
         self.protocol = component.name
         self.seed = seed
         self.policy = CheckPolicy.parse(check_policy)
@@ -242,9 +336,20 @@ class Session:
         self._pool = pool
         self._settle_every = settle_every
         self._max_retries = max_retries
+        self._step_delay = step_delay
+        self._retry_delay = retry_delay
+        self._max_steps = max_steps_per_process
+        self._max_events = max_events
+        self._diagnose_app_failures = diagnose_app_failures
 
-        self.distribution = self._resolve_distribution(distribution)
-        self.script: List[Access] = self._resolve_workload(workload)
+        if app is not None:
+            self.app: Optional[AppInstance] = self._resolve_app(app, component)
+            self.distribution = self.app.distribution
+            self.script: List[Access] = []
+        else:
+            self.app = None
+            self.distribution = self._resolve_distribution(distribution)
+            self.script = self._resolve_workload(workload)
         model, fifo = self._resolve_network(network, latency, fifo)
         self.network_model = model
         self.recorder = HistoryRecorder(keep_history=keep_history)
@@ -293,6 +398,7 @@ class Session:
             protocol=spec.protocol,
             distribution=spec.distribution,
             workload=spec.workload,
+            app=spec.app,
             seed=spec.seed,
             check=spec.check.enabled,
             criteria=spec.check.criteria or None,
@@ -306,6 +412,27 @@ class Session:
         )
 
     # -- input resolution ----------------------------------------------------
+    def _resolve_app(self, app: AppLike, protocol: Any) -> AppInstance:
+        self._app_max_steps: Optional[int] = None
+        if isinstance(app, str):
+            app = AppSpec(app)
+        elif isinstance(app, tuple) and len(app) == 2 and isinstance(app[0], str):
+            name, params = app
+            app = AppSpec(name, dict(params))
+        if isinstance(app, AppSpec):
+            app.validate()
+            self._app_max_steps = app.max_steps
+            instance = app.build(seed=self.seed)
+        elif isinstance(app, AppInstance):
+            instance = app
+        else:
+            raise SessionError(
+                "app must be an AppInstance, an AppSpec, a registered app "
+                f"name or a (name, params) pair; got {type(app).__name__}"
+            )
+        ensure_app_protocol_compatible(instance.name, instance.blocking_ok, protocol)
+        return instance
+
     def _resolve_distribution(self, distribution: DistributionLike) -> VariableDistribution:
         if isinstance(distribution, VariableDistribution):
             return distribution
@@ -381,12 +508,13 @@ class Session:
 
     # -- execution -----------------------------------------------------------
     def run(self, until: Optional[int] = None) -> RunReport:
-        """Execute the workload, checking incrementally; single-shot.
+        """Execute the workload or application, checking incrementally.
 
-        ``until`` caps the number of script operations driven (the whole
-        script when ``None``).  Returns the :class:`RunReport`; a fail-fast
-        policy makes the run stop at the first proven violation, with
-        ``report.stopped_early`` set.
+        Single-shot.  ``until`` caps the number of script operations driven
+        (the whole script when ``None``; not applicable to application
+        runs).  Returns the :class:`RunReport`; a fail-fast policy makes the
+        run stop at the first proven violation, with ``report.stopped_early``
+        set.
         """
         if self._ran:
             raise SessionError(
@@ -397,46 +525,65 @@ class Session:
         first_violation: List[str] = []
         violated = False
 
-        def feed(op: Operation, source: Optional[Operation]) -> None:
+        def note(result: Optional[CheckResult]) -> None:
             nonlocal violated
+            if result is not None and not result.consistent:
+                violated = True
+                if not first_violation and result.violations:
+                    first_violation.append(result.violations[0])
+
+        def check_due(count: int) -> None:
+            if self.policy.due(count):
+                for checker in self.checkers.values():
+                    note(checker.check_now())
+
+        app_mode = self.app is not None
+
+        def feed(op: Operation, source: Optional[Operation]) -> None:
             for checker in self.checkers.values():
-                result = checker.feed(op, source)
-                if result is not None and not result.consistent:
-                    violated = True
-                    if not first_violation and result.violations:
-                        first_violation.append(result.violations[0])
+                note(checker.feed(op, source))
+            if app_mode:
+                # No per-script-op hook exists here: cadence and fail-fast
+                # are driven off the recorded-operation stream itself.
+                check_due(self.recorder.operation_count())
+                if violated and self.policy.fail_fast:
+                    raise _AbortAppRun()
 
         if self.checkers:
             self.recorder.subscribe(feed)
+        try:
+            if app_mode:
+                if until is not None:
+                    raise SessionError(
+                        "until applies to scripted workloads, not application runs"
+                    )
+                executed, stopped_early, verdict = self._drive_app()
+            else:
+                verdict = None
+                if until is not None and until < 0:
+                    raise SessionError(f"until must be >= 0, got {until}")
+                budget = (len(self.script) if until is None
+                          else min(until, len(self.script)))
+                executed = 0
+                stopped_early = False
+                for _idx, _access in drive_script(
+                    self.system,
+                    self.script[:budget],
+                    settle_every=self._settle_every,
+                    max_retries=self._max_retries,
+                ):
+                    executed += 1
+                    check_due(executed)
+                    if violated and self.policy.fail_fast:
+                        stopped_early = True
+                        break
+                if not stopped_early:
+                    self.system.settle()
+        finally:
+            if self.checkers:
+                self.recorder.unsubscribe(feed)
 
-        if until is not None and until < 0:
-            raise SessionError(f"until must be >= 0, got {until}")
-        budget = len(self.script) if until is None else min(until, len(self.script))
-        executed = 0
-        stopped_early = False
         simulator = self.system.simulator
-        for _idx, _access in drive_script(
-            self.system,
-            self.script[:budget],
-            settle_every=self._settle_every,
-            max_retries=self._max_retries,
-        ):
-            executed += 1
-            if self.policy.due(executed):
-                for checker in self.checkers.values():
-                    result = checker.check_now()
-                    if result is not None and not result.consistent:
-                        violated = True
-                        if not first_violation and result.violations:
-                            first_violation.append(result.violations[0])
-            if violated and self.policy.fail_fast:
-                stopped_early = True
-                break
-        if not stopped_early:
-            self.system.settle()
-        if self.checkers:
-            self.recorder.unsubscribe(feed)
-
         results = {name: checker.finalize() for name, checker in self.checkers.items()}
         stats = self.system.stats
         model = self.network_model
@@ -447,7 +594,8 @@ class Session:
             consistent=(all(r.consistent for r in results.values())
                         if results else None),
             exact=all(r.exact for r in results.values()) if results else True,
-            operations_total=len(self.script),
+            operations_total=(self.recorder.operation_count() if app_mode
+                              else len(self.script)),
             operations_executed=executed,
             ops_checked=max((c.ops_fed for c in self.checkers.values()), default=0),
             stopped_early=stopped_early,
@@ -455,6 +603,7 @@ class Session:
             efficiency=self.system.efficiency(),
             events_processed=simulator.processed_events,
             elapsed_s=time.perf_counter() - started,
+            sim_time=simulator.now,
             network_model=model.model_name if model is not None else "reliable",
             messages_dropped=stats.messages_dropped,
             messages_duplicated=stats.messages_duplicated,
@@ -462,6 +611,15 @@ class Session:
             partition_windows=(model.partition_windows()
                                if model is not None else ()),
         )
+        if app_mode:
+            assert self.app is not None and verdict is not None
+            report.app = self.app.name
+            report.app_results = dict(self._runtime.results())
+            report.app_expected = verdict.expected
+            report.app_correct = verdict.correct
+            report.app_diagnosis = verdict.diagnosis
+            report.program_steps = self._runtime.step_counts()
+            report.program_retries = self._runtime.retry_counts()
         report.relevance_violations = sum(
             len(v) for v in relevance_violations(report.efficiency, self.distribution).values()
         )
@@ -470,8 +628,65 @@ class Session:
             report.read_from = self.recorder.read_from()
         return report
 
+    def _drive_app(self) -> Tuple[int, bool, AppVerdict]:
+        """Run the application programs on a DSM runtime over our system.
+
+        Returns ``(operations_recorded, stopped_early, verdict)``.  A
+        fail-fast policy aborts the simulation at the first proven violation
+        (the run is then *unvalidatable*, not incorrect); a livelocked or
+        otherwise failed simulation is diagnosed in the verdict when
+        ``diagnose_app_failures`` is set, re-raised otherwise.
+        """
+        assert self.app is not None
+        runtime = DSMRuntime(
+            self.system,
+            step_delay=self._step_delay,
+            retry_delay=self._retry_delay,
+            max_steps_per_process=self._app_max_steps or self._max_steps,
+            max_events=self._max_events,
+        )
+        self._runtime = runtime
+        runtime.add_programs(self.app.programs)
+        stopped_early = False
+        diagnosis = ""
+        try:
+            runtime.run()
+            # settle() is a no-op today (runtime.run drains the queue), but
+            # it belongs inside the try: were it ever to deliver events, the
+            # still-subscribed feed listener could raise _AbortAppRun here.
+            self.system.settle()
+        except _AbortAppRun:
+            stopped_early = True
+        except LivelockError as exc:
+            if not self._diagnose_app_failures:
+                raise
+            stopped_early = True
+            diagnosis = f"livelock: {exc}"
+        except SimulationError as exc:
+            if not self._diagnose_app_failures:
+                raise
+            stopped_early = True
+            diagnosis = f"simulation aborted: {exc}"
+        results = runtime.results()
+        if diagnosis:
+            unfinished = sorted(set(self.app.programs) - set(results))
+            if unfinished:
+                diagnosis += f" (unfinished programs: {unfinished})"
+            verdict = AppVerdict(correct=False, actual=dict(results),
+                                 diagnosis=diagnosis)
+        elif stopped_early:
+            verdict = AppVerdict(
+                correct=None, actual=dict(results),
+                diagnosis="run aborted at the first proven consistency violation",
+            )
+        else:
+            verdict = self.app.verdict(results)
+        return self.recorder.operation_count(), stopped_early, verdict
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        driven = (f"app={self.app.name!r}" if self.app is not None
+                  else f"ops={len(self.script)}")
         return (
             f"<Session protocol={self.protocol!r} criteria={list(self.criteria)} "
-            f"ops={len(self.script)} policy={self.policy}>"
+            f"{driven} policy={self.policy}>"
         )

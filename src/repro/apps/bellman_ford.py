@@ -14,8 +14,10 @@ line 6 of Figure 7, which is exactly the paper's argument for the usefulness
 of the PRAM + partial replication combination.
 
 The module provides the variable distribution builder, the per-process program
-implementing Figure 7, a convenience runner returning the computed distances
-together with the run's efficiency report, and the per-step trace used to
+implementing Figure 7, the registered ``bellman_ford`` application factory
+(``@register_app``, runnable from any :class:`~repro.spec.ScenarioSpec` over
+any network model), a convenience runner returning the computed distances
+together with the run's unified report, and the per-step trace used to
 reproduce Figure 9.
 """
 
@@ -26,9 +28,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.distribution import VariableDistribution
 from ..core.operations import BOTTOM
-from ..dsm.memory import DistributedSharedMemory, RunOutcome
+from ..dsm.app import AppInstance, AppVerdict
 from ..dsm.program import ProcessContext, ProgramFn
 from ..netsim.latency import LatencyModel
+from ..spec.registry import TOPOLOGY_REGISTRY, register_app
 from ..workloads.topology import INFINITY, WeightedDigraph
 from .reference import bellman_ford as reference_bellman_ford
 
@@ -119,6 +122,92 @@ def minimum_path_program(
     return program
 
 
+def _distances_match(got: float, want: float) -> bool:
+    return abs(got - want) < 1e-9 or (got == INFINITY and want == INFINITY)
+
+
+def bellman_ford_instance(
+    graph: WeightedDigraph,
+    source: int = 1,
+    rounds: Optional[int] = None,
+) -> AppInstance:
+    """The distributed Bellman-Ford app over a concrete graph.
+
+    Builds the paper's partial variable distribution, one Figure 7 program
+    per node, and a validator comparing the computed distances with the
+    centralised :func:`repro.apps.reference.bellman_ford` ground truth.
+    """
+    if source not in graph.nodes:
+        raise ValueError(f"source {source} is not a node of the graph")
+    distribution = bellman_ford_distribution(graph)
+    trace: Dict[int, List[Tuple[int, float]]] = {}
+    programs = {
+        node: minimum_path_program(node, graph, source, rounds=rounds, trace=trace)
+        for node in graph.nodes
+    }
+    expected = reference_bellman_ford(graph, source)
+
+    def validate(results: Dict[int, Any]) -> AppVerdict:
+        missing = sorted(set(graph.nodes) - set(results))
+        if missing:
+            return AppVerdict(
+                correct=False, expected=expected, actual=dict(results),
+                diagnosis=f"nodes {missing} returned no distance",
+            )
+        distances = {node: float(value) for node, value in results.items()}
+        wrong = sorted(
+            node for node in graph.nodes
+            if not _distances_match(distances[node], expected[node])
+        )
+        if wrong:
+            return AppVerdict(
+                correct=False, expected=expected, actual=distances,
+                diagnosis="distances diverge from the reference at nodes "
+                          + ", ".join(f"{n} (got {distances[n]}, want "
+                                      f"{expected[n]})" for n in wrong),
+            )
+        return AppVerdict(correct=True, expected=expected, actual=distances)
+
+    return AppInstance(
+        name="bellman_ford",
+        distribution=distribution,
+        programs=programs,
+        validate=validate,
+        details={"graph": graph, "source": source, "trace": trace},
+    )
+
+
+@register_app(
+    "bellman_ford",
+    params=("topology", "source", "rounds"),
+    dynamic_params=True,  # the chosen topology validates its own parameters
+    blocking_ok=False,
+    variables_per_process="2·(1 + indegree): x_h, k_h for h = i or h ∈ Γ⁻¹(i)",
+    description="the paper's Section 6 case study: Figure 7 least-cost "
+                "routing over a partially replicated PRAM memory",
+)
+def bellman_ford_app(
+    topology: str = "figure8",
+    source: int = 1,
+    rounds: Optional[int] = None,
+    seed: int = 0,
+    **topology_params: Any,
+) -> AppInstance:
+    """Registered app factory: Bellman-Ford over a named topology.
+
+    Remaining keyword parameters reach the topology builder (the flat
+    convention the ``neighbourhood`` distribution family also uses); seeded
+    topologies (``random``) default their seed to the scenario seed, so one
+    integer reproduces graph, run and fault schedule.
+    """
+    component = TOPOLOGY_REGISTRY.get(topology)
+    params = dict(topology_params)
+    if "seed" in component.params:
+        params.setdefault("seed", seed)
+    graph = component.create(**params)
+    return bellman_ford_instance(graph, source=source, rounds=rounds)
+
+
 @dataclass
 class BellmanFordRun:
     """Outcome of a distributed Bellman-Ford execution."""
@@ -126,8 +215,15 @@ class BellmanFordRun:
     distances: Dict[int, float]
     reference: Dict[int, float]
     correct: bool
-    outcome: RunOutcome
+    report: Any  # repro.api.RunReport (typed loosely: the facade builds on us)
     trace: Dict[int, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    @property
+    def outcome(self):
+        """Deprecated view of :attr:`report` under the historical names."""
+        from ..dsm.memory import RunOutcome
+
+        return RunOutcome(self.report)
 
     @property
     def rounds(self) -> int:
@@ -145,36 +241,25 @@ def run_distributed_bellman_ford(
 ) -> BellmanFordRun:
     """Run the paper's distributed Bellman-Ford and validate it.
 
-    Builds the partial variable distribution, runs one Figure 7 program per
-    node over the chosen MCS protocol and compares the computed distances with
-    the centralised reference algorithm.
+    One :class:`repro.api.Session` drives the Figure 7 programs over the
+    chosen MCS protocol; the computed distances are compared with the
+    centralised reference algorithm.
     """
-    if source not in graph.nodes:
-        raise ValueError(f"source {source} is not a node of the graph")
-    distribution = bellman_ford_distribution(graph)
-    dsm = DistributedSharedMemory(
-        distribution,
+    from ..api.session import Session  # deferred: the facade builds on us
+
+    instance = bellman_ford_instance(graph, source=source, rounds=rounds)
+    report = Session(
         protocol=protocol,
+        app=instance,
+        check=False,
         latency=latency,
         protocol_options=protocol_options,
-    )
-    trace: Dict[int, List[Tuple[int, float]]] = {}
-    programs = {
-        node: minimum_path_program(node, graph, source, rounds=rounds, trace=trace)
-        for node in graph.nodes
-    }
-    outcome = dsm.run(programs)
-    distances = {node: float(value) for node, value in outcome.results.items()}
-    reference = reference_bellman_ford(graph, source)
-    correct = all(
-        abs(distances[node] - reference[node]) < 1e-9
-        or (distances[node] == INFINITY and reference[node] == INFINITY)
-        for node in graph.nodes
-    )
+        diagnose_app_failures=False,
+    ).run()
     return BellmanFordRun(
-        distances=distances,
-        reference=reference,
-        correct=correct,
-        outcome=outcome,
-        trace=trace,
+        distances={node: float(v) for node, v in report.app_results.items()},
+        reference=reference_bellman_ford(graph, source),
+        correct=report.app_correct is True,
+        report=report,
+        trace=instance.details["trace"],
     )

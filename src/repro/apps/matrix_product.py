@@ -10,20 +10,25 @@ The implementation partitions the rows of ``A`` over the application
 processes; process 0 additionally publishes ``B``.  Every process owns (and is
 the only writer of) the variables holding its row block of ``A`` and of the
 result ``C``; it replicates ``B`` and nothing else — another naturally partial
-distribution.  Results are validated against ``numpy.matmul``.
+distribution.  Results are validated against the centralised
+:func:`repro.apps.reference.matrix_product` ground truth; the registered
+``matrix_product`` app factory generates seeded operand matrices, so the
+computation is addressable from a JSON :class:`~repro.spec.ScenarioSpec`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from ..core.distribution import VariableDistribution
 from ..core.operations import BOTTOM
-from ..dsm.memory import DistributedSharedMemory, RunOutcome
+from ..dsm.app import AppInstance, AppVerdict
 from ..dsm.program import ProcessContext, ProgramFn
+from ..spec.registry import register_app
+from .reference import matrix_product as reference_matrix_product
 
 
 def _rows_of(process: int, rows: int, workers: int) -> range:
@@ -43,7 +48,7 @@ def matrix_product_distribution(workers: int) -> VariableDistribution:
     return VariableDistribution(per_process)
 
 
-def _matrix_to_value(matrix: np.ndarray) -> Tuple[Tuple[float, ...], ...]:
+def _matrix_to_value(matrix: np.ndarray):
     """Encode a matrix block as a hashable nested tuple (shared-memory value)."""
     return tuple(tuple(float(x) for x in row) for row in np.atleast_2d(matrix))
 
@@ -69,6 +74,74 @@ def worker_program(pid: int, a_block: np.ndarray, publishes_b: Optional[np.ndarr
     return program
 
 
+def matrix_product_instance(
+    a: np.ndarray,
+    b: np.ndarray,
+    workers: int = 4,
+) -> AppInstance:
+    """The distributed matrix-product app over concrete operand matrices."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("incompatible matrix shapes")
+    workers = max(1, min(workers, a.shape[0]))
+    distribution = matrix_product_distribution(workers)
+    programs: Dict[int, ProgramFn] = {}
+    for pid in range(workers):
+        rows = _rows_of(pid, a.shape[0], workers)
+        block = a[rows.start:rows.stop, :]
+        programs[pid] = worker_program(pid, block, b if pid == 0 else None)
+    expected = reference_matrix_product(a, b)
+
+    def validate(results: Dict[int, Any]) -> AppVerdict:
+        missing = sorted(set(range(workers)) - set(results))
+        if missing:
+            return AppVerdict(
+                correct=False, expected=expected, actual=dict(results),
+                diagnosis=f"workers {missing} returned no block",
+            )
+        result = np.vstack([_value_to_matrix(results[pid])
+                            for pid in range(workers)])
+        if not np.allclose(result, expected):
+            deviation = float(np.max(np.abs(result - expected)))
+            return AppVerdict(
+                correct=False, expected=expected, actual=result,
+                diagnosis=f"product deviates from numpy.matmul by up to "
+                          f"{deviation:.3e}",
+            )
+        return AppVerdict(correct=True, expected=expected, actual=result)
+
+    return AppInstance(
+        name="matrix_product",
+        distribution=distribution,
+        programs=programs,
+        validate=validate,
+        details={"a": a, "b": b, "workers": workers},
+    )
+
+
+@register_app(
+    "matrix_product",
+    params=("rows", "inner", "cols", "workers", "seed"),
+    blocking_ok=False,
+    variables_per_process="3: the worker's A/C row blocks plus the shared B",
+    description="oblivious distributed matrix product over seeded operands "
+                "(Section 5: Lipton & Sandberg's PRAM-correct computations)",
+)
+def matrix_product_app(
+    rows: int = 6,
+    inner: int = 4,
+    cols: int = 5,
+    workers: int = 3,
+    seed: int = 0,
+) -> AppInstance:
+    """Registered app factory: ``A @ B`` over seeded normal matrices."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(rows, inner))
+    b = rng.normal(size=(inner, cols))
+    return matrix_product_instance(a, b, workers=workers)
+
+
 @dataclass
 class MatrixProductRun:
     """Outcome of a distributed matrix product."""
@@ -76,7 +149,14 @@ class MatrixProductRun:
     result: np.ndarray
     expected: np.ndarray
     correct: bool
-    outcome: RunOutcome
+    report: Any  # repro.api.RunReport
+
+    @property
+    def outcome(self):
+        """Deprecated view of :attr:`report` under the historical names."""
+        from ..dsm.memory import RunOutcome
+
+        return RunOutcome(self.report)
 
 
 def run_distributed_matrix_product(
@@ -86,24 +166,22 @@ def run_distributed_matrix_product(
     protocol: str = "pram_partial",
 ) -> MatrixProductRun:
     """Compute ``A @ B`` with ``workers`` DSM processes and validate the result."""
-    a = np.asarray(a, dtype=float)
-    b = np.asarray(b, dtype=float)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
-        raise ValueError("incompatible matrix shapes")
-    workers = max(1, min(workers, a.shape[0]))
-    distribution = matrix_product_distribution(workers)
-    dsm = DistributedSharedMemory(distribution, protocol=protocol)
-    programs: Dict[int, ProgramFn] = {}
-    for pid in range(workers):
-        rows = _rows_of(pid, a.shape[0], workers)
-        block = a[rows.start:rows.stop, :]
-        programs[pid] = worker_program(pid, block, b if pid == 0 else None)
-    outcome = dsm.run(programs)
-    blocks = [
-        _value_to_matrix(outcome.results[pid])
-        for pid in range(workers)
-    ]
-    result = np.vstack(blocks)
-    expected = a @ b
-    correct = bool(np.allclose(result, expected))
-    return MatrixProductRun(result=result, expected=expected, correct=correct, outcome=outcome)
+    from ..api.session import Session  # deferred: the facade builds on us
+
+    instance = matrix_product_instance(a, b, workers=workers)
+    report = Session(
+        protocol=protocol,
+        app=instance,
+        check=False,
+        diagnose_app_failures=False,
+    ).run()
+    workers = instance.details["workers"]
+    result = np.vstack(
+        [_value_to_matrix(report.app_results[pid]) for pid in range(workers)]
+    )
+    return MatrixProductRun(
+        result=result,
+        expected=report.app_expected,
+        correct=report.app_correct is True,
+        report=report,
+    )

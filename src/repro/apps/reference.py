@@ -1,9 +1,12 @@
-"""Reference (centralised) shortest-path algorithms.
+"""Reference (centralised) ground truths for every registered application.
 
 The paper motivates the case study with the two classical least-cost routing
 algorithms, Bellman-Ford and Dijkstra [6].  The centralised implementations
-below provide the ground truth the distributed DSM-based run is validated
-against, and serve as the sequential baselines in the benchmarks.
+below provide the ground truth the distributed DSM-based runs are validated
+against — this module is the *single* place the validators of the registered
+apps (:mod:`repro.apps.bellman_ford`, :mod:`repro.apps.jacobi`,
+:mod:`repro.apps.matrix_product`, :mod:`repro.apps.pipeline`) take their
+expected results from — and the sequential baselines in the benchmarks.
 """
 
 from __future__ import annotations
@@ -84,6 +87,32 @@ def dijkstra(graph: WeightedDigraph, source: int) -> Dict[int, float]:
                 dist[succ] = candidate
                 heapq.heappush(heap, (candidate, succ))
     return dist
+
+
+def linear_system_solution(a, b):
+    """Ground truth of the distributed Jacobi solve: ``numpy.linalg.solve``."""
+    import numpy as np
+
+    return np.linalg.solve(np.asarray(a, dtype=float), np.asarray(b, dtype=float))
+
+
+def matrix_product(a, b):
+    """Ground truth of the distributed matrix product: ``numpy.matmul``."""
+    import numpy as np
+
+    return np.asarray(a, dtype=float) @ np.asarray(b, dtype=float)
+
+
+def pipeline_final_values(stages: int, items: int) -> Dict[int, int]:
+    """Ground truth of the producer/consumer pipeline.
+
+    The producer (stage 0) emits the values ``1..items``; every later stage
+    adds one to what it consumes.  Each program returns the last value it
+    produced, so stage ``s`` must end on ``items + s``.
+    """
+    if stages < 2 or items < 1:
+        raise ValueError("the pipeline needs >= 2 stages and >= 1 item")
+    return {stage: items + stage for stage in range(stages)}
 
 
 def shortest_path_tree(graph: WeightedDigraph, source: int) -> Dict[int, Optional[int]]:

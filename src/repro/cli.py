@@ -9,7 +9,14 @@ any Python:
     checking (``--check-policy fail_fast`` aborts a violating run at the
     first proven violation).  ``--scenario file.json`` runs a complete typed
     :class:`repro.spec.ScenarioSpec`; ``--network faulty --net-param
-    drop_rate=0.1`` injects faults from the flags.
+    drop_rate=0.1`` injects faults from the flags; ``--app bellman_ford``
+    runs a registered application instead of a scripted workload, its result
+    validated against the centralised reference ground truth.
+``apps``
+    The application plugin registry: ``list`` shows the registered apps with
+    their capability metadata (blocking-protocol support, variables-per-
+    process footprint); ``run`` is a convenience spelling of
+    ``repro run --app``.
 ``protocols``
     The protocol plugin registry (``list``): names, claimed criteria,
     replication mode and accepted options, including any third-party
@@ -61,12 +68,33 @@ def _parse_params(pairs: Optional[Sequence[str]], flag: str) -> dict:
     return params
 
 
+def _resolve_exactness(args: argparse.Namespace, network) -> bool:
+    """The CLI's exactness default: polynomial pre-check under fault injection."""
+    exact = not args.heuristic
+    if network is not None and args.network != "reliable" \
+            and not args.heuristic and not args.exact:
+        # Fault-injected histories are full of stale reads, the regime
+        # where the exact serialization search blows up; default to the
+        # polynomial pre-check unless the user insists with --exact.
+        exact = False
+        print("note: fault injection active, using the polynomial "
+              "pre-check (pass --exact to force the exact search)",
+              file=sys.stderr)
+    return exact
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .api import Session
 
     if args.scenario:
         from .spec import ScenarioSpec
 
+        if getattr(args, "app", None) or getattr(args, "app_param", None) \
+                or getattr(args, "max_steps", None) is not None:
+            print("error: --scenario is a complete run specification; "
+                  "pass the app inside the file, not as flags",
+                  file=sys.stderr)
+            return 2
         try:
             with open(args.scenario, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
@@ -77,41 +105,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
         session = Session.from_spec(ScenarioSpec.from_dict(data),
                                     keep_history=not args.no_history)
     else:
-        dist_params = _parse_params(args.dist_param, "--dist-param")
-        if args.distribution == "random" and not dist_params:
-            # the canonical Section 3.3 comparison distribution
-            dist_params = {"processes": 6, "variables": 8, "replicas_per_variable": 3}
         network = None
         if args.network:
             network = (args.network, _parse_params(args.net_param, "--net-param"))
-        exact = not args.heuristic
-        if network is not None and args.network != "reliable" \
-                and not args.heuristic and not args.exact:
-            # Fault-injected histories are full of stale reads, the regime
-            # where the exact serialization search blows up; default to the
-            # polynomial pre-check unless the user insists with --exact.
-            exact = False
-            print("note: fault injection active, using the polynomial "
-                  "pre-check (pass --exact to force the exact search)",
-                  file=sys.stderr)
-        session = Session(
+        session_kwargs = dict(
             protocol=args.protocol,
-            distribution=(args.distribution, dist_params),
-            workload=(args.workload, _parse_params(args.workload_param, "--workload-param")),
             seed=args.seed,
             check=not args.no_check,
             criteria=args.criterion or None,
             check_policy=args.check_policy,
-            exact=exact,
+            exact=_resolve_exactness(args, network),
             keep_history=not args.no_history,
             network=network,
         )
+        if getattr(args, "app", None):
+            from .spec import AppSpec
+
+            # mirror Session's mutual-exclusion contract instead of silently
+            # dropping workload flags (the two defaults cannot be told apart
+            # from explicit values, but any parameter or non-default name can)
+            if getattr(args, "dist_param", None) or getattr(args, "workload_param", None) \
+                    or (getattr(args, "distribution", None) or "random") != "random" \
+                    or (getattr(args, "workload", None) or "uniform") != "uniform":
+                print("error: pass an app or a distribution/workload, not both",
+                      file=sys.stderr)
+                return 2
+            session = Session(
+                app=AppSpec(args.app,
+                            _parse_params(args.app_param, "--app-param"),
+                            max_steps=args.max_steps),
+                **session_kwargs,
+            )
+        else:
+            dist_params = _parse_params(args.dist_param, "--dist-param")
+            if args.distribution == "random" and not dist_params:
+                # the canonical Section 3.3 comparison distribution
+                dist_params = {"processes": 6, "variables": 8,
+                               "replicas_per_variable": 3}
+            session = Session(
+                distribution=(args.distribution, dist_params),
+                workload=(args.workload,
+                          _parse_params(args.workload_param, "--workload-param")),
+                **session_kwargs,
+            )
     report = session.run(until=args.until)
     print(report.summary())
     if args.verbose and report.history is not None:
         print()
         print(report.history.describe())
-    return 0 if report.consistent is not False else 1
+    return 0 if report else 1
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -163,7 +205,7 @@ def _cmd_bellman_ford(args: argparse.Namespace) -> int:
              "reference": run.reference[node]}
             for node in graph.nodes]
     print(render_table(rows, title=f"Least-cost routes on the {label}"))
-    efficiency = run.outcome.efficiency
+    efficiency = run.report.efficiency
     print(f"matches reference            : {run.correct}")
     print(f"messages exchanged           : {efficiency.messages_sent}")
     print(f"control bytes                : {efficiency.control_bytes}")
@@ -272,6 +314,37 @@ def _cmd_experiments_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_apps_list(args: argparse.Namespace) -> int:
+    from .analysis.report import render_table
+    from .spec import APP_REGISTRY
+
+    rows = [{
+        "app": component.name,
+        "params": ", ".join(component.params) or "-",
+        "blocking protocols": "ok" if component.metadata.get("blocking_ok")
+        else "wait-free only",
+        "variables/process": component.metadata.get("variables_per_process", "-"),
+    } for component in APP_REGISTRY.components()]
+    print(render_table(rows, title="Registered applications"))
+    if args.verbose:
+        print()
+        for component in APP_REGISTRY.components():
+            print(f"{component.name}: {component.metadata.get('description', '')}")
+    return 0
+
+
+def _cmd_apps_run(args: argparse.Namespace) -> int:
+    args.scenario = None
+    args.distribution = None
+    args.workload = None
+    return _cmd_run(args)
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    handlers = {"list": _cmd_apps_list, "run": _cmd_apps_run}
+    return handlers[args.apps_command](args)
+
+
 def _cmd_protocols_list(args: argparse.Namespace) -> int:
     from .analysis.report import render_table
     from .spec import PROTOCOL_REGISTRY
@@ -333,9 +406,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_session_flags(target: argparse.ArgumentParser) -> None:
+        """Flags shared by ``run`` and ``apps run`` (one Session each)."""
+        target.add_argument("--protocol", default="pram_partial",
+                            help="protocol name (see repro.mcs.PROTOCOLS)")
+        target.add_argument("--seed", type=int, default=0)
+        target.add_argument("--criterion", action="append", default=None,
+                            help="criterion to check incrementally (repeatable; "
+                                 "default: the protocol's claimed criterion)")
+        target.add_argument("--check-policy", default=None,
+                            help="finalize | every_op | fail_fast | "
+                                 "every:N[:fail_fast]")
+        target.add_argument("--heuristic", action="store_true",
+                            help="skip the exact serialization search at finalize")
+        target.add_argument("--exact", action="store_true",
+                            help="force the exact serialization search even under "
+                                 "fault injection (can be very slow on "
+                                 "stall-heavy histories)")
+        target.add_argument("--no-check", action="store_true",
+                            help="execute without consistency checking")
+        target.add_argument("--no-history", action="store_true",
+                            help="bounded memory: keep no history, stream "
+                                 "monitors only")
+        target.add_argument("--verbose", action="store_true",
+                            help="also print the recorded history")
+        target.add_argument("--network", default=None,
+                            help="network model name (reliable, faulty, or a "
+                                 "plugin)")
+        target.add_argument("--net-param", action="append", default=None,
+                            metavar="K=V",
+                            help="network model parameter (repeatable), e.g. "
+                                 "drop_rate=0.1 latency=0.5")
+        target.add_argument("--app-param", action="append", default=None,
+                            metavar="K=V",
+                            help="application parameter (repeatable), e.g. "
+                                 "topology=ring nodes=8")
+        target.add_argument("--max-steps", type=int, default=None,
+                            help="per-program step budget for application "
+                                 "runs (livelocks are diagnosed, not spun out)")
+
     run = sub.add_parser("run", help="one streaming session with incremental checking")
-    run.add_argument("--protocol", default="pram_partial",
-                     help="protocol name (see repro.mcs.PROTOCOLS)")
+    add_session_flags(run)
     run.add_argument("--distribution", default="random",
                      help="distribution family (full_replication, disjoint_blocks, "
                           "chain, random, neighbourhood)")
@@ -345,34 +456,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="workload pattern (uniform, single_writer)")
     run.add_argument("--workload-param", action="append", default=None, metavar="K=V",
                      help="workload pattern parameter (repeatable)")
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--criterion", action="append", default=None,
-                     help="criterion to check incrementally (repeatable; "
-                          "default: the protocol's claimed criterion)")
-    run.add_argument("--check-policy", default=None,
-                     help="finalize | every_op | fail_fast | every:N[:fail_fast]")
     run.add_argument("--until", type=int, default=None,
                      help="drive at most this many workload operations")
-    run.add_argument("--heuristic", action="store_true",
-                     help="skip the exact serialization search at finalize")
-    run.add_argument("--exact", action="store_true",
-                     help="force the exact serialization search even under "
-                          "fault injection (can be very slow on stall-heavy "
-                          "histories)")
-    run.add_argument("--no-check", action="store_true",
-                     help="execute without consistency checking")
-    run.add_argument("--no-history", action="store_true",
-                     help="bounded memory: keep no history, stream monitors only")
-    run.add_argument("--verbose", action="store_true",
-                     help="also print the recorded history")
     run.add_argument("--scenario", default=None, metavar="FILE",
                      help="run a ScenarioSpec JSON file (overrides the "
                           "component flags above)")
-    run.add_argument("--network", default=None,
-                     help="network model name (reliable, faulty, or a plugin)")
-    run.add_argument("--net-param", action="append", default=None, metavar="K=V",
-                     help="network model parameter (repeatable), e.g. "
-                          "drop_rate=0.1 latency=0.5")
+    run.add_argument("--app", default=None,
+                     help="run a registered application instead of a scripted "
+                          "workload (see 'repro apps list')")
+
+    apps = sub.add_parser("apps",
+                          help="application plugin registry (list/run)")
+    asub = apps.add_subparsers(dest="apps_command", required=True)
+    apps_list = asub.add_parser("list", help="list the registered applications")
+    apps_list.add_argument("--verbose", action="store_true",
+                           help="also print app descriptions")
+    apps_run = asub.add_parser("run", help="run one registered application")
+    apps_run.add_argument("--app", required=True,
+                          help="registered application name")
+    add_session_flags(apps_run)
+    apps_run.set_defaults(until=None)
 
     sub.add_parser("reproduce", help="re-evaluate every figure and theorem")
 
@@ -449,6 +552,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "apps": _cmd_apps,
         "reproduce": _cmd_reproduce,
         "overhead": _cmd_overhead,
         "bellman-ford": _cmd_bellman_ford,

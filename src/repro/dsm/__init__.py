@@ -1,10 +1,14 @@
 """Application-facing distributed shared memory: programs, runtime, facade."""
 
+from .app import AppInstance, AppValidator, AppVerdict
 from .memory import DistributedSharedMemory, RunOutcome
 from .program import ProcessContext, ProgramFn, Read, Write
 from .runtime import DSMRuntime
 
 __all__ = [
+    "AppInstance",
+    "AppValidator",
+    "AppVerdict",
     "DSMRuntime",
     "DistributedSharedMemory",
     "ProcessContext",

@@ -1,0 +1,101 @@
+"""Application programs as first-class, spec-addressable components.
+
+The paper's case study (Section 6) is *application programs* — Bellman-Ford,
+Jacobi, matrix product — running over the partially replicated DSM.  This
+module defines the contract through which such programs plug into the
+spec-driven run pipeline:
+
+:class:`AppInstance`
+    One concrete, runnable application: the variable distribution its
+    programs need, one program per application process, and an optional
+    result validator comparing the programs' return values against the
+    centralised ground truth of :mod:`repro.apps.reference`.
+
+:class:`AppVerdict`
+    What validation produced: ``correct`` (``None`` when the run could not
+    be validated), the expected and actual results, and a human-readable
+    ``diagnosis`` when something went wrong — which is what fault-injected
+    application scenarios report instead of crashing.
+
+Registered application *factories* (``@repro.spec.register_app``) build
+:class:`AppInstance` objects from pure JSON-able parameters plus the scenario
+seed, which is what lets a :class:`~repro.spec.AppSpec` name them inside a
+:class:`~repro.spec.ScenarioSpec` and lets :class:`repro.api.Session` run
+them over any registered network model with incremental consistency checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..core.distribution import VariableDistribution
+from .program import ProgramFn
+
+
+@dataclass
+class AppVerdict:
+    """Outcome of validating an application run against its ground truth."""
+
+    correct: Optional[bool]
+    expected: Any = None
+    actual: Any = None
+    diagnosis: str = ""
+
+    @property
+    def validated(self) -> bool:
+        """``True`` when the result was checked and matched the reference."""
+        return self.correct is True
+
+    def summary(self) -> str:
+        """One-line human-readable digest (used by ``RunReport.summary``)."""
+        if self.correct is True:
+            return "validated (matches the reference result)"
+        if self.correct is False:
+            return f"INCORRECT: {self.diagnosis or 'result mismatch'}"
+        if self.diagnosis:
+            return f"diagnosed: {self.diagnosis}"
+        return "not validated"
+
+
+#: A result validator: program results (``pid -> return value``) to verdict.
+AppValidator = Callable[[Dict[int, Any]], AppVerdict]
+
+
+@dataclass
+class AppInstance:
+    """One runnable application: distribution + programs + validator.
+
+    ``blocking_ok`` states whether the programs issue command-style
+    operations (``yield Read(...)``/``yield Write(...)``) and can therefore
+    run on blocking protocols such as ``sequencer_sc``; direct-style
+    programs (plain ``ctx.read``/``ctx.write``) cannot, and the session
+    rejects the combination with a typed
+    :class:`~repro.exceptions.AppCompatibilityError` instead of crashing
+    mid-run.  ``details`` carries app-specific extras (e.g. the Bellman-Ford
+    per-round trace behind Figure 9).
+    """
+
+    name: str
+    distribution: VariableDistribution
+    programs: Dict[int, ProgramFn]
+    validate: Optional[AppValidator] = None
+    blocking_ok: bool = False
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def verdict(self, results: Dict[int, Any]) -> AppVerdict:
+        """Validate ``results``; apps without a validator return "don't know"."""
+        if self.validate is None:
+            return AppVerdict(correct=None, actual=dict(results))
+        return self.validate(results)
+
+    @property
+    def processes(self) -> int:
+        """Number of application processes the app runs."""
+        return len(self.programs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<AppInstance {self.name!r} processes={self.processes} "
+            f"variables={len(self.distribution.variables)}>"
+        )

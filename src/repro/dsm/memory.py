@@ -1,8 +1,16 @@
-"""High-level facade: a distributed shared memory ready to run programs.
+"""Deprecated facade: a distributed shared memory ready to run programs.
 
-:class:`DistributedSharedMemory` bundles the variable distribution, the chosen
-MCS protocol, the network parameters and the runtime into a single object with
-a small surface, which is what the examples and most benchmarks use:
+.. deprecated::
+    :class:`DistributedSharedMemory` and :class:`RunOutcome` are thin
+    back-compat shims over the one spec-driven entry point,
+    :class:`repro.api.Session`.  New code should run application programs
+    through ``Session(app=...)`` (or a :class:`~repro.spec.ScenarioSpec`
+    with an ``app`` axis) and read the unified
+    :class:`~repro.api.RunReport`, which carries the program results next to
+    the consistency verdicts, efficiency metrics and fault/network
+    statistics.
+
+The historical surface keeps working:
 
 >>> from repro import DistributedSharedMemory, VariableDistribution
 >>> dist = VariableDistribution({0: {"x"}, 1: {"x"}})
@@ -21,36 +29,83 @@ a small surface, which is what the examples and most benchmarks use:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+import warnings
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from ..core.distribution import VariableDistribution
 from ..core.history import History
 from ..mcs.metrics import EfficiencyReport
 from ..mcs.system import MCSystem
 from ..netsim.latency import LatencyModel
+from .app import AppInstance
 from .program import ProgramFn
-from .runtime import DSMRuntime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.session import RunReport
 
 
-@dataclass
 class RunOutcome:
-    """Everything a DSM run produces."""
+    """Deprecated view of a :class:`~repro.api.RunReport` (historical names).
 
-    results: Dict[int, Any]
-    history: History
-    read_from: Dict
-    efficiency: EfficiencyReport
-    elapsed: float
-    steps: Dict[int, int] = field(default_factory=dict)
+    The ``RunOutcome``/``RunReport`` split is collapsed: a DSM run now
+    produces one unified report, and this class merely re-exposes it under
+    the field names the historical facade used (``results`` for the program
+    results, ``elapsed`` for the virtual time, ``steps`` for the per-program
+    step counts).  The full report is available as :attr:`report`.
+    """
+
+    def __init__(self, report: "RunReport") -> None:
+        self.report = report
+
+    @property
+    def results(self) -> Dict[int, Any]:
+        """``pid -> program return value`` (now ``RunReport.app_results``)."""
+        return self.report.app_results
+
+    @property
+    def history(self) -> Optional[History]:
+        return self.report.history
+
+    @property
+    def read_from(self) -> Optional[Dict]:
+        return self.report.read_from
+
+    @property
+    def efficiency(self) -> Optional[EfficiencyReport]:
+        return self.report.efficiency
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual time at the end of the run (now ``RunReport.sim_time``)."""
+        return self.report.sim_time
+
+    @property
+    def steps(self) -> Dict[int, int]:
+        return self.report.program_steps
 
     def operations(self) -> int:
-        """Number of shared-memory operations performed during the run."""
-        return len(self.history)
+        """Number of shared-memory operations performed during the run.
+
+        Counted from the history recorder's delivery log (not from
+        ``len(history)``), so the count no longer drifts from the efficiency
+        metrics when the run keeps no history.
+        """
+        return self.report.operations()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RunOutcome over {self.report.__class__.__name__} " \
+               f"ops={self.operations()}>"
 
 
 class DistributedSharedMemory:
-    """A partially (or fully) replicated shared memory plus its runtime."""
+    """Deprecated: a partially replicated shared memory plus its runtime.
+
+    Thin shim over :class:`repro.api.Session`: each :meth:`run` builds one
+    session around an ad-hoc :class:`~repro.dsm.app.AppInstance` wrapping the
+    caller's programs (fresh replicas, fresh statistics, no consistency
+    checking — the historical behaviour) and returns the report wrapped in a
+    :class:`RunOutcome` view.
+    """
 
     def __init__(
         self,
@@ -63,6 +118,12 @@ class DistributedSharedMemory:
         max_steps_per_process: int = 200_000,
         protocol_options: Optional[Dict[str, Any]] = None,
     ):
+        warnings.warn(
+            "DistributedSharedMemory is deprecated; run application "
+            "programs through repro.api.Session(app=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.distribution = distribution
         self.protocol = protocol
         self._latency = latency
@@ -73,37 +134,36 @@ class DistributedSharedMemory:
         self._protocol_options = protocol_options
         self.system: Optional[MCSystem] = None
 
-    def _build_system(self) -> MCSystem:
-        return MCSystem(
-            self.distribution,
-            protocol=self.protocol,
-            latency=self._latency,
-            fifo=self._fifo,
-            protocol_options=self._protocol_options,
-        )
-
     def run(self, programs: Dict[int, ProgramFn]) -> RunOutcome:
         """Run one program per process and return the full outcome.
 
-        Each call builds a fresh system (fresh replicas, fresh statistics), so
-        successive runs are independent.
+        Each call builds a fresh session (fresh replicas, fresh statistics),
+        so successive runs are independent.  Livelocks and simulation
+        failures raise, exactly as the pre-``Session`` runtime did.
         """
-        system = self._build_system()
-        self.system = system
-        runtime = DSMRuntime(
-            system,
+        from ..api.session import Session  # deferred: the facade builds on us
+
+        instance = AppInstance(
+            name="programs",
+            distribution=self.distribution,
+            programs=dict(programs),
+            validate=None,
+            # The caller owns the programs, so the command-style/blocking
+            # compatibility contract is theirs too (the historical behaviour).
+            blocking_ok=True,
+        )
+        session = Session(
+            protocol=self.protocol,
+            app=instance,
+            check=False,
+            latency=self._latency,
+            fifo=self._fifo,
+            protocol_options=self._protocol_options,
             step_delay=self._step_delay,
             retry_delay=self._retry_delay,
             max_steps_per_process=self._max_steps,
+            diagnose_app_failures=False,
         )
-        runtime.add_programs(programs)
-        results = runtime.run()
-        system.settle()
-        return RunOutcome(
-            results=results,
-            history=system.history(),
-            read_from=system.read_from(),
-            efficiency=system.efficiency(),
-            elapsed=system.simulator.now,
-            steps=runtime.step_counts(),
-        )
+        self.system = session.system
+        report = session.run()
+        return RunOutcome(report)

@@ -103,6 +103,25 @@ class ComponentParamError(ScenarioSpecError, ValueError):
     """A registered component was given parameters it does not accept."""
 
 
+class UnknownAppError(UnknownComponentError):
+    """An application-program name is not registered.
+
+    Raised by the app plugin registry (:data:`repro.spec.APP_REGISTRY`) when a
+    :class:`~repro.spec.AppSpec`, ``Session(app=...)`` or ``repro run --app``
+    names an application no ``@register_app`` decorator declared.
+    """
+
+
+class AppCompatibilityError(ScenarioSpecError):
+    """An application was combined with a protocol it cannot run on.
+
+    The registered capability metadata of an app declares whether its
+    programs issue command-style (blocking-capable) operations; direct-style
+    programs cannot run on protocols whose reads block
+    (``blocking_reads=True`` registry metadata, e.g. ``sequencer_sc``).
+    """
+
+
 class UnknownProtocolError(ProtocolConfigError, UnknownComponentError):
     """A protocol name is not registered.
 

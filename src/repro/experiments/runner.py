@@ -67,17 +67,33 @@ class ScenarioRecord:
     expected_consistent: Optional[bool] = True
     stopped_early: bool = False
     first_violation: Optional[str] = None
+    app: str = ""
+    app_correct: Optional[bool] = None
+    app_diagnosis: str = ""
+    expected_correct: Optional[bool] = None
+
+    @property
+    def consistency_as_expected(self) -> bool:
+        """The consistency verdict matches ``expected_consistent`` (None = don't care)."""
+        return (self.consistent is None or self.expected_consistent is None
+                or self.consistent == self.expected_consistent)
+
+    @property
+    def app_as_expected(self) -> bool:
+        """The application result matches ``expected_correct`` (None = don't care)."""
+        return (self.app_correct is None or self.expected_correct is None
+                or self.app_correct == self.expected_correct)
 
     @property
     def as_expected(self) -> bool:
-        """``True`` when the verdict matches the scenario's expectation.
+        """``True`` when the verdicts match the scenario's expectations.
 
-        ``None`` on either side means "don't care"/"not checked" and never
-        counts as a surprise.
+        Both the consistency verdict (against ``expected_consistent``) and
+        the application result (against ``expected_correct``) must match;
+        ``None`` on either side of a comparison means "don't care"/"not
+        checked" and never counts as a surprise.
         """
-        if self.consistent is None or self.expected_consistent is None:
-            return True
-        return self.consistent == self.expected_consistent
+        return self.consistency_as_expected and self.app_as_expected
 
     def as_row(self) -> Dict[str, Any]:
         """Flat row for the plain-text table renderers."""
@@ -85,9 +101,12 @@ class ScenarioRecord:
             "scenario": self.scenario,
             "protocol": self.protocol,
             "seed": self.seed,
+            "app": self.app or "-",
+            "app_ok": {True: "yes", False: "NO", None: "-"}[self.app_correct]
+            + ("" if self.app_as_expected else " (UNEXPECTED)"),
             "criterion": self.criterion,
             "ok": {True: "yes", False: "NO", None: "n/a"}[self.consistent]
-            + ("" if self.as_expected else " (UNEXPECTED)"),
+            + ("" if self.consistency_as_expected else " (UNEXPECTED)"),
             "exact": "yes" if self.exact else "heuristic",
             "network": self.network_model,
             "dropped": self.messages_dropped,
@@ -158,15 +177,22 @@ def run_point(point: ScenarioPoint, pool: Optional[Any] = None) -> ScenarioRecor
     criterion = ",".join(report.criteria) if report.criteria else \
         PROTOCOL_CRITERION[point.protocol]
     efficiency = report.efficiency
+    if point.app is not None:
+        distribution_name, workload_name = "-", "-"
+        params: Dict[str, Any] = dict(point.app.params)
+    else:
+        distribution_name = point.distribution.family
+        workload_name = point.workload.pattern
+        params = {**point.distribution.params, **point.workload.params}
     return ScenarioRecord(
         scenario=point.scenario,
         suite=point.suite,
         paper_ref=point.paper_ref,
         protocol=point.protocol,
         seed=point.seed,
-        distribution=point.distribution.family,
-        workload=point.workload.pattern,
-        params={**point.distribution.params, **point.workload.params},
+        distribution=distribution_name,
+        workload=workload_name,
+        params=params,
         criterion=criterion,
         consistent=report.consistent,
         exact=report.exact if point.check_consistency else point.exact,
@@ -188,6 +214,10 @@ def run_point(point: ScenarioPoint, pool: Optional[Any] = None) -> ScenarioRecor
         expected_consistent=point.expect_consistent,
         stopped_early=report.stopped_early,
         first_violation=report.first_violation,
+        app=report.app or "",
+        app_correct=report.app_correct,
+        app_diagnosis=report.app_diagnosis,
+        expected_correct=point.expect_correct,
     )
 
 
@@ -238,6 +268,7 @@ def run_suite(
                         record.suite = point.suite
                         record.paper_ref = point.paper_ref
                         record.expected_consistent = point.expect_consistent
+                        record.expected_correct = point.expect_correct
                         result.records.append(record)
                         result.cached += 1
                         say(f"cached   {point.label()}")
@@ -279,22 +310,44 @@ def aggregate_records(records: Iterable[ScenarioRecord]) -> List[Dict[str, Any]]
         n = len(group)
         verdicts = [r.consistent for r in group if r.consistent is not None]
         all_exact = all(r.exact for r in group if r.consistent is not None)
-        surprises = [r for r in group if not r.as_expected]
+        # Surprises are attributed per gate, so the "(UNEXPECTED)" marker
+        # lands on the column whose expectation actually mismatched.
+        consistency_surprises = [r for r in group if not r.consistency_as_expected]
+        app_surprises = [r for r in group if not r.app_as_expected]
         ok = ("n/a" if not verdicts
               else ("yes" if all_exact else "yes (heuristic)")
               if all(verdicts) else "NO")
-        if (not surprises and any(v is False for v in verdicts)
+        if (not consistency_surprises and any(v is False for v in verdicts)
                 and any(r.expected_consistent is False for r in group)):
             # a heuristic "yes" is only "no violation found", not a proof;
             # an expected violation is the scenario doing its job — but only
             # when the scenario actually *expects* one (not a None don't-care)
             ok = "NO (expected)"
-        elif surprises:
+        elif consistency_surprises:
             ok += " (UNEXPECTED)"
+        app_name = group[0].app
+        app_verdicts = [r.app_correct for r in group if r.app_correct is not None]
+        if not app_name:
+            app_ok = "-"
+        elif not app_verdicts:
+            app_ok = "n/a"
+        elif all(app_verdicts):
+            app_ok = "validated"
+        elif (not app_surprises
+              and any(r.expected_correct is False for r in group)):
+            # a diagnosed failure (livelock under faults...) the scenario
+            # is designed to produce — the expected-result gate at work
+            app_ok = "NO (expected)"
+        else:
+            app_ok = "NO"
+        if app_surprises and app_ok not in ("-", "n/a"):
+            app_ok += " (UNEXPECTED)"
         rows.append({
             "scenario": scenario,
             "protocol": protocol,
             "runs": n,
+            "app": app_name or "-",
+            "app_ok": app_ok,
             "criterion": group[0].criterion,
             "ok": ok,
             "msgs": sum(r.messages for r in group),

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import ScenarioSpecError
 from ..spec.registry import (
+    APP_REGISTRY,
     DISTRIBUTION_REGISTRY,
     TOPOLOGY_REGISTRY,
     WORKLOAD_REGISTRY,
@@ -42,6 +43,7 @@ from ..spec.registry import (
     resolve_protocol,
 )
 from ..spec.scenario import (
+    AppSpec,
     CheckSpec,
     DistributionSpec,
     NetworkSpec,
@@ -53,9 +55,8 @@ from ..spec.scenario import ScenarioSpec as _RunSpec
 
 #: Bump when the record layout or run semantics change; part of every content
 #: hash, so stale cache entries are never reused across incompatible versions.
-#: (2: points are hashed over their canonical ScenarioSpec, which adds the
-#: network model and check spec to the identity.)
-CACHE_VERSION = 2
+#: (3: scenarios gained the application axis and records the app verdict.)
+CACHE_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -96,22 +97,29 @@ WORKLOAD_PARAMS = RegistryView(WORKLOAD_REGISTRY, lambda c: c.params)
 class ExperimentSpec:
     """One named experiment family: protocols x components x seeds x grid.
 
-    ``grid`` maps dotted axis names (``"distribution.<param>"`` or
-    ``"workload.<param>"``) to the sequence of values to sweep; the cross
-    product of all axes, the protocols and the seeds is the set of concrete
-    runs (:meth:`expand`).  ``paper_ref`` ties the scenario to the paper claim
-    it reproduces (see EXPERIMENTS.md at the repository root).
+    ``grid`` maps dotted axis names (``"distribution.<param>"``,
+    ``"workload.<param>"`` or ``"app.<param>"``) to the sequence of values to
+    sweep; the cross product of all axes, the protocols and the seeds is the
+    set of concrete runs (:meth:`expand`).  ``paper_ref`` ties the scenario
+    to the paper claim it reproduces (see EXPERIMENTS.md at the repository
+    root).
 
-    ``network`` selects the network model every point runs on (default: the
-    reliable unit-latency network); ``criteria``/``check_policy`` override
-    what the points check and how eagerly; ``expect_consistent`` states the
-    verdict the suite gate asserts — ``False`` for fault scenarios designed
-    to produce a *proven* violation, ``None`` for "don't care".
+    The runs execute either a scripted workload (``distribution`` +
+    ``workload``) or an application (``app``); an application brings its own
+    distribution and programs.  ``network`` selects the network model every
+    point runs on (default: the reliable unit-latency network);
+    ``criteria``/``check_policy`` override what the points check and how
+    eagerly; ``expect_consistent`` states the verdict the suite gate asserts
+    — ``False`` for fault scenarios designed to produce a *proven*
+    violation, ``None`` for "don't care" — and ``expect_correct`` does the
+    same for the application result (``False`` for fault scenarios whose
+    diagnosis — e.g. a livelocked spin barrier across a partition — *is*
+    the expected outcome).
     """
 
     name: str
-    distribution: DistributionSpec
-    workload: WorkloadSpec
+    distribution: Optional[DistributionSpec] = None
+    workload: Optional[WorkloadSpec] = None
     description: str = ""
     suite: str = "custom"
     paper_ref: str = ""
@@ -125,6 +133,8 @@ class ExperimentSpec:
     check_policy: Optional[str] = None
     protocol_options: Dict[str, Any] = field(default_factory=dict)
     expect_consistent: Optional[bool] = True
+    app: Optional[AppSpec] = None
+    expect_correct: Optional[bool] = None
 
     def _check_spec(self) -> CheckSpec:
         return CheckSpec(
@@ -152,23 +162,46 @@ class ExperimentSpec:
                 ) from None
         if not self.seeds:
             raise ScenarioSpecError(f"scenario {self.name!r} lists no seeds")
-        self.distribution.validate()
-        self.workload.validate()
+        if self.app is not None:
+            if self.distribution is not None or self.workload is not None:
+                raise ScenarioSpecError(
+                    f"scenario {self.name!r} names an app and a "
+                    "distribution/workload; an app brings its own "
+                    "distribution and programs"
+                )
+            self.app.validate()
+            for protocol in self.protocols:
+                self.app.check_protocol(
+                    ProtocolSpec(protocol, dict(self.protocol_options))
+                )
+        else:
+            if self.distribution is None or self.workload is None:
+                raise ScenarioSpecError(
+                    f"scenario {self.name!r} needs either an app or a "
+                    "distribution plus a workload"
+                )
+            self.distribution.validate()
+            self.workload.validate()
         self.network.validate()
         self._check_spec().validate()
         for axis, values in self.grid.items():
             scope, _, param = axis.partition(".")
-            if scope not in ("distribution", "workload") or not param:
+            scopes = ("app",) if self.app is not None else ("distribution", "workload")
+            if scope not in scopes or not param:
+                wanted = " or ".join(f"'{s}.<param>'" for s in scopes)
                 raise ScenarioSpecError(
-                    f"scenario {self.name!r}: grid axis {axis!r} must be "
-                    f"'distribution.<param>' or 'workload.<param>'"
+                    f"scenario {self.name!r}: grid axis {axis!r} must be {wanted}"
                 )
-            allowed = (
-                DISTRIBUTION_PARAMS[self.distribution.family]
-                if scope == "distribution"
-                else WORKLOAD_PARAMS[self.workload.pattern]
-            )
-            if param not in allowed:
+            if scope == "app":
+                component = APP_REGISTRY.get(self.app.name)
+                allowed = component.params
+                if component.metadata.get("dynamic_params"):
+                    allowed = None  # the factory validates (topology params)
+            elif scope == "distribution":
+                allowed = DISTRIBUTION_PARAMS[self.distribution.family]
+            else:
+                allowed = WORKLOAD_PARAMS[self.workload.pattern]
+            if allowed is not None and param not in allowed:
                 raise ScenarioSpecError(
                     f"scenario {self.name!r}: grid axis {axis!r} names no parameter of "
                     f"the {scope} spec; allowed: {sorted(allowed)}"
@@ -180,37 +213,51 @@ class ExperimentSpec:
         # Re-validate every grid cell's merged specs, so a grid value that is
         # incompatible with the base spec (e.g. a parameter a chosen topology
         # rejects) fails here — at registration — not halfway through a run.
-        for dist, work in self._cells():
-            dist.validate()
-            work.validate()
+        for dist, work, app in self._cells():
+            if app is not None:
+                app.validate()
+            else:
+                dist.validate()
+                work.validate()
 
-    def _cells(self) -> List[Tuple[DistributionSpec, WorkloadSpec]]:
-        """The grid-merged (distribution, workload) spec pair of every cell."""
+    def _cells(
+        self,
+    ) -> List[Tuple[Optional[DistributionSpec], Optional[WorkloadSpec], Optional[AppSpec]]]:
+        """The grid-merged (distribution, workload, app) specs of every cell."""
         axes = sorted(self.grid)
         cells = itertools.product(*(self.grid[axis] for axis in axes)) if axes else [()]
-        merged: List[Tuple[DistributionSpec, WorkloadSpec]] = []
+        merged: List[Tuple[Optional[DistributionSpec], Optional[WorkloadSpec],
+                           Optional[AppSpec]]] = []
         for cell in cells:
-            dist = replace(self.distribution, params=dict(self.distribution.params))
-            work = replace(self.workload, params=dict(self.workload.params))
+            dist = (replace(self.distribution, params=dict(self.distribution.params))
+                    if self.distribution is not None else None)
+            work = (replace(self.workload, params=dict(self.workload.params))
+                    if self.workload is not None else None)
+            app = (replace(self.app, params=dict(self.app.params))
+                   if self.app is not None else None)
             for axis, value in zip(axes, cell):
                 scope, _, param = axis.partition(".")
-                target = dist if scope == "distribution" else work
+                target = {"distribution": dist, "workload": work, "app": app}[scope]
                 target.params[param] = value
-            merged.append((dist, work))
+            merged.append((dist, work, app))
         return merged
 
     def expand(self) -> List["ScenarioPoint"]:
         """All concrete runs of the experiment, in deterministic order."""
         self.validate()
         points: List[ScenarioPoint] = []
-        for dist, work in self._cells():
+        for dist, work, app in self._cells():
             for protocol in self.protocols:
                 for seed in self.seeds:
                     scenario = _RunSpec(
                         name=self.name,
                         protocol=ProtocolSpec(protocol, dict(self.protocol_options)),
-                        distribution=replace(dist, params=dict(dist.params)),
-                        workload=replace(work, params=dict(work.params)),
+                        distribution=(replace(dist, params=dict(dist.params))
+                                      if dist is not None else None),
+                        workload=(replace(work, params=dict(work.params))
+                                  if work is not None else None),
+                        app=(replace(app, params=dict(app.params))
+                             if app is not None else None),
                         network=replace(self.network,
                                         params=dict(self.network.params)),
                         check=self._check_spec(),
@@ -222,6 +269,7 @@ class ExperimentSpec:
                             suite=self.suite,
                             paper_ref=self.paper_ref,
                             expect_consistent=self.expect_consistent,
+                            expect_correct=self.expect_correct,
                         )
                     )
         return points
@@ -239,14 +287,15 @@ class ScenarioPoint:
     """One concrete, cache-addressable run: a canonical spec plus filing.
 
     ``spec`` is the :class:`repro.spec.ScenarioSpec` the run executes;
-    ``suite``/``paper_ref``/``expect_consistent`` are presentation and gating
-    data excluded from the run's identity.
+    ``suite``/``paper_ref``/``expect_consistent``/``expect_correct`` are
+    presentation and gating data excluded from the run's identity.
     """
 
     spec: _RunSpec
     suite: str = "custom"
     paper_ref: str = ""
     expect_consistent: Optional[bool] = True
+    expect_correct: Optional[bool] = None
 
     # -- delegating accessors (the historical flat field surface) -------------
     @property
@@ -262,12 +311,16 @@ class ScenarioPoint:
         return self.spec.seed
 
     @property
-    def distribution(self) -> DistributionSpec:
+    def distribution(self) -> Optional[DistributionSpec]:
         return self.spec.distribution
 
     @property
-    def workload(self) -> WorkloadSpec:
+    def workload(self) -> Optional[WorkloadSpec]:
         return self.spec.workload
+
+    @property
+    def app(self) -> Optional[AppSpec]:
+        return self.spec.app
 
     @property
     def network(self) -> NetworkSpec:
@@ -302,10 +355,16 @@ class ScenarioPoint:
 
     def label(self) -> str:
         """Compact human-readable identifier used by logs and progress output."""
-        extras = "/".join(
-            f"{k}={v}"
-            for k, v in sorted({**self.distribution.params, **self.workload.params}.items())
-        )
+        params: Dict[str, Any] = {}
+        if self.app is not None:
+            params.update(self.app.params)
+        if self.distribution is not None:
+            params.update(self.distribution.params)
+        if self.workload is not None:
+            params.update(self.workload.params)
+        extras = "/".join(f"{k}={v}" for k, v in sorted(params.items()))
+        if self.app is not None:
+            extras = "/".join(filter(None, [f"app={self.app.name}", extras]))
         if self.network.model != "reliable":
             extras = "/".join(filter(None, [extras, f"net={self.network.model}"]))
         suffix = f" [{extras}]" if extras else ""

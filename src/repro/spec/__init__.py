@@ -30,6 +30,7 @@ suites and the CLI without touching any core module.
 """
 
 from .registry import (
+    APP_REGISTRY,
     DISTRIBUTION_REGISTRY,
     NETWORK_MODEL_REGISTRY,
     PROTOCOL_REGISTRY,
@@ -39,14 +40,17 @@ from .registry import (
     ComponentRegistry,
     RegistryView,
     build_topology,
+    register_app,
     register_distribution,
     register_network_model,
     register_protocol,
     register_topology,
     register_workload,
+    resolve_app,
     resolve_protocol,
 )
 from .scenario import (
+    AppSpec,
     CheckSpec,
     DistributionSpec,
     NetworkSpec,
@@ -57,6 +61,8 @@ from .scenario import (
 )
 
 __all__ = [
+    "APP_REGISTRY",
+    "AppSpec",
     "CheckSpec",
     "Component",
     "ComponentRegistry",
@@ -73,10 +79,12 @@ __all__ = [
     "WORKLOAD_REGISTRY",
     "WorkloadSpec",
     "build_topology",
+    "register_app",
     "register_distribution",
     "register_network_model",
     "register_protocol",
     "register_topology",
     "register_workload",
+    "resolve_app",
     "resolve_protocol",
 ]

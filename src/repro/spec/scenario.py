@@ -28,8 +28,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from ..exceptions import NetworkModelError, ReproError, ScenarioSpecError
+from ..exceptions import (
+    AppCompatibilityError,
+    NetworkModelError,
+    ReproError,
+    ScenarioSpecError,
+)
 from .registry import (
+    APP_REGISTRY,
     DISTRIBUTION_REGISTRY,
     NETWORK_MODEL_REGISTRY,
     TOPOLOGY_REGISTRY,
@@ -226,6 +232,105 @@ class WorkloadSpec:
         return cls(pattern=data["pattern"], params=dict(data.get("params", {})))
 
 
+def ensure_app_protocol_compatible(
+    app_name: str, blocking_ok: bool, protocol: Component
+) -> None:
+    """The one blocking-compatibility rule, shared by spec and session gates.
+
+    Direct-style applications (``blocking_ok=False``) cannot run on
+    protocols whose reads block (``blocking_reads`` registry metadata).
+    """
+    if protocol.metadata.get("blocking_reads") and not blocking_ok:
+        raise AppCompatibilityError(
+            f"application {app_name!r} uses direct-style operations and "
+            f"cannot run on the blocking protocol {protocol.name!r}"
+        )
+
+
+@dataclass
+class AppSpec:
+    """Which application programs to run: a registry name plus parameters.
+
+    An app spec replaces the ``distribution``/``workload`` pair of a
+    :class:`ScenarioSpec`: the registered factory derives the variable
+    distribution from the app's own topology/input parameters and provides
+    one program per process plus the result validator
+    (:class:`repro.dsm.AppInstance`).  ``max_steps`` optionally caps the
+    per-program step budget — fault-injected application scenarios use a
+    small budget so a stalled spin barrier is *diagnosed* as a
+    :class:`~repro.exceptions.LivelockError` instead of spinning for the
+    default 200k steps.
+    """
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    max_steps: Optional[int] = None
+
+    def _component(self) -> Component:
+        return APP_REGISTRY.get(self.name)
+
+    def validate(self) -> None:
+        component = self._component()  # typed UnknownAppError
+        component.validate_params(self.params)
+        if self.max_steps is not None and int(self.max_steps) < 1:
+            raise ScenarioSpecError(
+                f"app max_steps must be >= 1, got {self.max_steps!r}"
+            )
+
+    def check_protocol(self, protocol: "ProtocolSpec") -> None:
+        """Reject protocols the app's programs cannot run on (typed error)."""
+        ensure_app_protocol_compatible(
+            self.name,
+            bool(self._component().metadata.get("blocking_ok")),
+            protocol.component,
+        )
+
+    def build(self, seed: int = 0):
+        """Materialise the :class:`repro.dsm.AppInstance`.
+
+        The scenario ``seed`` feeds the factory's input generation unless the
+        spec pins its own ``seed`` parameter (mirroring
+        :meth:`NetworkSpec.build`), so ``params={"seed": ...}`` overrides
+        instead of colliding with the positional seed.
+        """
+        self.validate()
+        component = self._component()
+        params = dict(self.params)
+        params.setdefault("seed", seed)
+        instance = component.factory(**params)
+        # The registry metadata is the single source of truth for the
+        # blocking-protocol capability: stamp it on the instance so
+        # check_protocol (spec validation) and the session's instance-level
+        # gate can never disagree for a registered app.
+        instance.blocking_ok = bool(component.metadata.get("blocking_ok"))
+        return instance
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"name": self.name}
+        if self.params:
+            data["params"] = dict(self.params)
+        if self.max_steps is not None:
+            data["max_steps"] = self.max_steps
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "AppSpec":
+        if isinstance(data, str):
+            return cls(data)
+        data = _require_dict(data, "app")
+        _reject_unknown_keys(data, ("name", "params", "max_steps"), "app")
+        if "name" not in data:
+            raise ScenarioSpecError("app spec misses the 'name' key")
+        max_steps = data.get("max_steps")
+        if max_steps is not None and (not isinstance(max_steps, int)
+                                      or isinstance(max_steps, bool)):
+            raise ScenarioSpecError(
+                f"app max_steps must be an integer, got {max_steps!r}"
+            )
+        return cls(name=data["name"], params=dict(data.get("params", {})),
+                   max_steps=max_steps)
+
+
 @dataclass
 class NetworkSpec:
     """Which network the messages cross: a model name plus its parameters.
@@ -379,16 +484,21 @@ class ScenarioSpec:
     ``Session.from_spec(spec)`` executes it; ``spec.to_dict()`` is its
     canonical JSON form (what ``repro run --scenario file.json`` loads and
     what the experiment cache hashes).
+
+    A scenario runs either a scripted workload (``distribution`` +
+    ``workload``) or an application (``app``, which derives its own
+    distribution and programs) — never both.
     """
 
     name: str
     protocol: ProtocolSpec
-    distribution: DistributionSpec
-    workload: WorkloadSpec
+    distribution: Optional[DistributionSpec] = None
+    workload: Optional[WorkloadSpec] = None
     network: NetworkSpec = field(default_factory=NetworkSpec)
     check: CheckSpec = field(default_factory=CheckSpec)
     seed: int = 0
     description: str = ""
+    app: Optional[AppSpec] = None
 
     def validate(self) -> None:
         """Raise a typed :class:`ScenarioSpecError` on the first malformed field."""
@@ -397,8 +507,23 @@ class ScenarioSpec:
                 f"scenario name must be a non-empty [-_a-zA-Z0-9] slug, got {self.name!r}"
             )
         self.protocol.validate()
-        self.distribution.validate()
-        self.workload.validate()
+        if self.app is not None:
+            if self.distribution is not None or self.workload is not None:
+                raise ScenarioSpecError(
+                    f"scenario {self.name!r} names an app and a "
+                    "distribution/workload; an app brings its own "
+                    "distribution and programs"
+                )
+            self.app.validate()
+            self.app.check_protocol(self.protocol)  # typed AppCompatibilityError
+        else:
+            if self.distribution is None or self.workload is None:
+                raise ScenarioSpecError(
+                    f"scenario {self.name!r} needs either an app or a "
+                    "distribution plus a workload"
+                )
+            self.distribution.validate()
+            self.workload.validate()
         self.network.validate()
         self.check.validate()
 
@@ -419,9 +544,13 @@ class ScenarioSpec:
         data: Dict[str, Any] = {
             "name": self.name,
             "protocol": self.protocol.to_dict(),
-            "distribution": self.distribution.to_dict(),
-            "workload": self.workload.to_dict(),
         }
+        if self.app is not None:
+            data["app"] = self.app.to_dict()
+        else:
+            assert self.distribution is not None and self.workload is not None
+            data["distribution"] = self.distribution.to_dict()
+            data["workload"] = self.workload.to_dict()
         network = self.network.to_dict()
         if network != {"model": "reliable"}:
             data["network"] = network
@@ -440,21 +569,30 @@ class ScenarioSpec:
         data = _require_dict(data, "scenario")
         allowed = tuple(f.name for f in fields(cls))
         _reject_unknown_keys(data, allowed, "scenario")
-        missing = sorted(
-            {"name", "protocol", "distribution", "workload"} - set(data)
-        )
+        required = {"name", "protocol"}
+        if "app" not in data:
+            required |= {"distribution", "workload"}
+        missing = sorted(required - set(data))
         if missing:
             raise ScenarioSpecError(f"scenario spec misses keys {missing}")
+        if "app" in data and ({"distribution", "workload"} & set(data)):
+            raise ScenarioSpecError(
+                "scenario spec names an app and a distribution/workload; "
+                "an app brings its own distribution and programs"
+            )
         seed = data.get("seed", 0)
         if not isinstance(seed, int) or isinstance(seed, bool):
             raise ScenarioSpecError(f"scenario seed must be an integer, got {seed!r}")
         return cls(
             name=data["name"],
             protocol=ProtocolSpec.from_dict(data["protocol"]),
-            distribution=DistributionSpec.from_dict(data["distribution"]),
-            workload=WorkloadSpec.from_dict(data["workload"]),
+            distribution=(DistributionSpec.from_dict(data["distribution"])
+                          if "distribution" in data else None),
+            workload=(WorkloadSpec.from_dict(data["workload"])
+                      if "workload" in data else None),
             network=NetworkSpec.from_dict(data.get("network", {"model": "reliable"})),
             check=CheckSpec.from_dict(data.get("check")),
             seed=seed,
             description=data.get("description", ""),
+            app=AppSpec.from_dict(data["app"]) if "app" in data else None,
         )

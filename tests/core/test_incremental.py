@@ -191,6 +191,11 @@ class TestPrefixChecker:
 def _suite_points():
     points = []
     for spec in builtin_scenarios():
+        if spec.app is not None:
+            # application points are driven by a DSM runtime, not a script;
+            # their incremental-vs-batch equivalence is covered by
+            # tests/apps/test_app_sessions.py over the recorded history
+            continue
         expanded = spec.expand()
         # one representative point per (scenario, protocol): the equivalence
         # property is about checker behaviour, not about seed coverage.

@@ -106,3 +106,72 @@ class TestCommands:
                      "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "NO (expected)" in out
+
+    def test_apps_list(self, capsys):
+        assert main(["apps", "list", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bellman_ford", "jacobi", "matrix_product",
+                     "producer_consumer"):
+            assert name in out
+        assert "wait-free only" in out  # the capability metadata column
+
+    def test_run_app(self, capsys):
+        assert main(["run", "--app", "producer_consumer",
+                     "--app-param", "stages=3", "--app-param", "items=3",
+                     "--heuristic"]) == 0
+        out = capsys.readouterr().out
+        assert "application         : producer_consumer" in out
+        assert "validated (matches the reference result)" in out
+
+    def test_apps_run_with_fault_injection(self, capsys):
+        code = main(["apps", "run", "--app", "bellman_ford",
+                     "--network", "faulty",
+                     "--net-param", "duplicate_rate=0.4",
+                     "--net-param", "latency=0.1"])
+        captured = capsys.readouterr()
+        assert code == 0  # the hardened protocol discards every duplicate
+        assert "validated (matches the reference result)" in captured.out
+        assert "messages duplicated" in captured.out
+
+    def test_run_app_rejects_workload_flags(self, capsys):
+        # mirror the Session contract: app and workload are exclusive
+        assert main(["run", "--app", "producer_consumer",
+                     "--workload", "single_writer"]) == 2
+        assert main(["run", "--app", "producer_consumer",
+                     "--dist-param", "processes=4"]) == 2
+        err = capsys.readouterr().err
+        assert "not both" in err
+
+    def test_run_scenario_rejects_app_flags(self, tmp_path, capsys):
+        scenario = tmp_path / "s.json"
+        scenario.write_text("{}", encoding="utf-8")
+        assert main(["run", "--scenario", str(scenario),
+                     "--app", "jacobi"]) == 2
+        err = capsys.readouterr().err
+        assert "complete run specification" in err
+
+    def test_run_app_scenario_file(self, tmp_path, capsys):
+        import json
+
+        scenario = {
+            "name": "cli-partitioned-bellman-ford",
+            "protocol": "pram_partial",
+            "app": {"name": "bellman_ford", "max_steps": 1500},
+            "network": {"model": "faulty",
+                        "params": {"latency": 0.1,
+                                   "partitions": [{"start": 0.0, "end": 1e9,
+                                                   "links": [[1, 2]]}]}},
+            "check": {"exact": False},
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(scenario), encoding="utf-8")
+        assert main(["run", "--scenario", str(path)]) == 1  # diagnosed
+        out = capsys.readouterr().out
+        assert "livelock" in out
+
+    def test_experiments_run_apps_suite_gate(self, capsys):
+        assert main(["experiments", "run", "--suite", "apps",
+                     "--scenario", "apps-producer-consumer",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "validated" in out

@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-checkers bench-checkers-baseline bench-streaming bench-apps bench-apps-baseline experiments experiments-smoke faults apps clean-cache
+.PHONY: test bench bench-checkers bench-checkers-baseline bench-streaming bench-apps bench-apps-baseline experiments experiments-smoke faults apps hunt-smoke clean-cache
 
 # Tier-1 verification (the command ROADMAP.md records).
 test:
@@ -66,6 +66,14 @@ experiments:
 # *proven* inconsistent by the incremental checkers (exit 1 otherwise).
 faults:
 	$(PYTHON) -m repro experiments run --suite faults --no-cache
+
+# Hunt gate: replay every committed minimal reproducer of the 'hunted'
+# suite through the hunt oracle (each must keep producing its recorded
+# verdict — exit 1 on any regression) and run a small fixed-seed,
+# time-bounded hunt as an end-to-end check of the search pipeline.
+hunt-smoke:
+	$(PYTHON) -m repro hunt smoke --budget 25 --seed 0
+	$(PYTHON) -m repro experiments run --suite hunted --no-cache
 
 clean-cache:
 	rm -rf .repro-cache

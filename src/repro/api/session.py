@@ -140,6 +140,40 @@ class RunReport:
     def __bool__(self) -> bool:
         return self.consistent is not False and self.app_correct is not False
 
+    def outcome(self) -> str:
+        """Classify what the run produced — the hook :mod:`repro.hunt` builds on.
+
+        One of:
+
+        ``"violation"``
+            A checked criterion was proven violated (``consistent is False``)
+            — regardless of how the application fared, a consistency proof
+            outranks every other observation.
+        ``"livelock"``
+            The application run was *diagnosed* dead (a livelocked spin
+            barrier or an aborted simulation) instead of finishing.
+        ``"wrong_result"``
+            The application finished but its validator rejected the results.
+        ``"unchecked"``
+            Nothing was checked and no application ran (``check=False``).
+        ``"pass"``
+            Everything checked out.
+
+        Exceptions that escape :meth:`Session.run` (a blocking read
+        exhausting its retries, a crash in the stack) are by construction not
+        classifiable here; callers hunting for those wrap the run — see
+        :func:`repro.hunt.execute_spec`.
+        """
+        if self.consistent is False:
+            return "violation"
+        if self.app_correct is False:
+            if self.app_diagnosis.startswith(("livelock", "simulation aborted")):
+                return "livelock"
+            return "wrong_result"
+        if self.consistent is None and self.app_correct is None:
+            return "unchecked"
+        return "pass"
+
     def operations(self) -> int:
         """Number of shared-memory operations performed during the run.
 

@@ -37,6 +37,13 @@ any Python:
     registered scenario grids, execute them through the simulator with
     content-hash result caching, and render the aggregated consistency +
     efficiency records (see EXPERIMENTS.md for the claim-to-scenario map).
+``hunt``
+    Adversarial scenario search (``run`` / ``shrink`` / ``promote`` /
+    ``smoke``): sample random scenarios and fault schedules, classify every
+    outcome against the protocol's declared guarantee envelope, shrink each
+    finding to a minimal reproducer by delta debugging, and promote
+    reproducers into the auto-grown ``hunted`` suite (see docs/API.md,
+    "Hunting for violations").
 """
 
 from __future__ import annotations
@@ -314,6 +321,148 @@ def _cmd_experiments_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _hunt_known_findings():
+    """The committed reproducer corpus (path, finding) pairs."""
+    from .experiments.hunted import HUNTED_DIR
+    from .hunt import load_findings_dir
+
+    return load_findings_dir(HUNTED_DIR)
+
+
+def _cmd_hunt_run(args: argparse.Namespace) -> int:
+    import os
+
+    from .experiments.runner import worker_pool
+    from .hunt import hunt, write_finding
+
+    known = [] if args.skip_replay else [f for _, f in _hunt_known_findings()]
+    progress = (lambda line: print(line, file=sys.stderr)) if args.verbose else None
+    with worker_pool(args.jobs) as pool:
+        report = hunt(
+            budget=args.budget,
+            hunter_seed=args.seed,
+            known=known,
+            pool=pool,
+            shrink=not args.no_shrink,
+            shrink_budget=args.shrink_budget,
+            progress=progress,
+        )
+    print("\n".join(report.summary_lines()))
+    if args.out:
+        for finding in report.findings:
+            path = write_finding(finding,
+                                 os.path.join(args.out, f"{finding.slug()}.json"))
+            print(f"wrote {path}")
+    if args.json:
+        payload = {
+            "hunter_seed": report.hunter_seed,
+            "budget": report.budget,
+            "executed": report.executed,
+            "findings": [f.to_dict() for f in report.findings],
+            "regressions": [f.to_dict() for f in report.regressions],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    if report.regressions:
+        print(f"\nCORPUS REGRESSIONS: "
+              f"{', '.join(f.slug() for f in report.regressions)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_hunt_shrink(args: argparse.Namespace) -> int:
+    from .hunt import (
+        Shrinker,
+        execute_spec,
+        load_finding,
+        reproduces_predicate,
+        write_finding,
+    )
+
+    finding = load_finding(args.file)
+    predicate = reproduces_predicate(finding.kind, finding.crash_type)
+    if not predicate(finding.spec):
+        print(f"error: {args.file} does not reproduce its recorded "
+              f"{finding.kind!r} outcome; nothing to shrink", file=sys.stderr)
+        return 1
+    result = Shrinker(predicate, max_runs=args.budget).shrink(finding.spec)
+    print(result.summary())
+    outcome = execute_spec(result.spec)
+    finding.spec = result.spec
+    finding.detail = outcome.detail or finding.detail
+    finding.provenance.update({
+        "shrink_runs": finding.provenance.get("shrink_runs", 0) + result.runs,
+        "shrink_steps": finding.provenance.get("shrink_steps", 0) + result.accepted,
+    })
+    before, finding.operations = finding.operations, outcome.operations
+    path = args.out or args.file
+    write_finding(finding, path)
+    print(f"wrote {path} (ops {before or '?'} -> {finding.operations})")
+    return 0
+
+
+def _cmd_hunt_promote(args: argparse.Namespace) -> int:
+    import os
+
+    from .experiments.hunted import HUNTED_DIR, experiment_from_finding
+    from .hunt import PROMOTABLE_KINDS, load_finding, replay_finding, write_finding
+
+    status = 0
+    for file in args.file:
+        finding = load_finding(file)
+        if finding.kind not in PROMOTABLE_KINDS:
+            print(f"refused {file}: kind {finding.kind!r} cannot ride the "
+                  f"suite runner (promotable: {', '.join(PROMOTABLE_KINDS)})",
+                  file=sys.stderr)
+            status = 1
+            continue
+        still, seen = replay_finding(finding)
+        if not still:
+            print(f"refused {file}: expected {finding.kind!r} but the spec "
+                  f"now classifies as {seen!r}", file=sys.stderr)
+            status = 1
+            continue
+        stem = os.path.splitext(os.path.basename(file))[0]
+        # lift into an experiment spec now so a malformed finding is
+        # rejected at promotion, not at the next import of the suite
+        experiment_from_finding(f"hunted-{stem}", finding)
+        path = write_finding(finding, os.path.join(HUNTED_DIR, f"{stem}.json"))
+        print(f"promoted {path} (runs in the 'hunted' suite as hunted-{stem})")
+    return status
+
+
+def _cmd_hunt_smoke(args: argparse.Namespace) -> int:
+    from .experiments.runner import worker_pool
+    from .hunt import hunt
+
+    known = [f for _, f in _hunt_known_findings()]
+    print(f"replaying {len(known)} committed finding(s) + fixed-seed hunt "
+          f"(budget={args.budget}, seed={args.seed})")
+    with worker_pool(args.jobs) as pool:
+        report = hunt(budget=args.budget, hunter_seed=args.seed, known=known,
+                      pool=pool, shrink=False)
+    print("\n".join(report.summary_lines()))
+    if report.regressions:
+        print(f"\nCORPUS REGRESSIONS: "
+              f"{', '.join(f.slug() for f in report.regressions)}",
+              file=sys.stderr)
+        return 1
+    print("hunt smoke OK: every committed reproducer still reproduces")
+    return 0
+
+
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_hunt_run,
+        "shrink": _cmd_hunt_shrink,
+        "promote": _cmd_hunt_promote,
+        "smoke": _cmd_hunt_smoke,
+    }
+    return handlers[args.hunt_command](args)
+
+
 def _cmd_apps_list(args: argparse.Namespace) -> int:
     from .analysis.report import render_table
     from .spec import APP_REGISTRY
@@ -541,6 +690,64 @@ def build_parser() -> argparse.ArgumentParser:
     exp_report.add_argument("--per-run", action="store_true",
                             help="print the per-run records, not only the aggregate")
 
+    hunt = sub.add_parser(
+        "hunt",
+        help="adversarial scenario search with automatic shrinking "
+             "(run/shrink/promote/smoke)")
+    hsub = hunt.add_subparsers(dest="hunt_command", required=True)
+
+    hunt_run = hsub.add_parser(
+        "run", help="sample, execute and classify random scenarios; shrink "
+                    "every finding to a minimal reproducer")
+    hunt_run.add_argument("--budget", type=int, default=200,
+                          help="number of trials to sample (default 200)")
+    hunt_run.add_argument("--seed", type=int, default=0,
+                          help="hunter seed; the same seed and budget "
+                               "reproduce the same findings bit for bit")
+    hunt_run.add_argument("--jobs", type=int, default=0,
+                          help="fan trial execution out over N worker "
+                               "processes (one shared pool for the whole "
+                               "hunt; findings are identical at any value)")
+    hunt_run.add_argument("--out", default=None, metavar="DIR",
+                          help="write each finding as a reproducer JSON file "
+                               "into this directory")
+    hunt_run.add_argument("--json", default=None, metavar="FILE",
+                          help="also write the full hunt report as JSON")
+    hunt_run.add_argument("--shrink-budget", type=int, default=150,
+                          help="max re-executions the shrinker may spend per "
+                               "finding (default 150)")
+    hunt_run.add_argument("--no-shrink", action="store_true",
+                          help="keep findings at their originally sampled size")
+    hunt_run.add_argument("--skip-replay", action="store_true",
+                          help="do not re-validate the committed reproducer "
+                               "corpus before searching")
+    hunt_run.add_argument("--verbose", action="store_true",
+                          help="print per-trial progress to stderr")
+
+    hunt_shrink = hsub.add_parser(
+        "shrink", help="re-shrink one reproducer file in place")
+    hunt_shrink.add_argument("file", help="finding JSON written by 'hunt run --out'")
+    hunt_shrink.add_argument("--budget", type=int, default=150,
+                             help="max re-executions to spend (default 150)")
+    hunt_shrink.add_argument("--out", default=None,
+                             help="write the shrunk finding here instead of "
+                                  "overwriting the input")
+
+    hunt_promote = hsub.add_parser(
+        "promote", help="re-validate findings and commit them into the "
+                        "'hunted' experiment suite")
+    hunt_promote.add_argument("file", nargs="+",
+                              help="finding JSON file(s) to promote")
+
+    hunt_smoke = hsub.add_parser(
+        "smoke", help="replay every committed reproducer plus a small "
+                      "fixed-seed hunt (the CI gate)")
+    hunt_smoke.add_argument("--budget", type=int, default=25,
+                            help="trials for the fresh-search half (default 25)")
+    hunt_smoke.add_argument("--seed", type=int, default=0)
+    hunt_smoke.add_argument("--jobs", type=int, default=0,
+                            help="worker processes for trial execution")
+
     return parser
 
 
@@ -559,6 +766,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "relevance": _cmd_relevance,
         "protocols": _cmd_protocols,
         "experiments": _cmd_experiments,
+        "hunt": _cmd_hunt,
     }
     try:
         return handlers[args.command](args)

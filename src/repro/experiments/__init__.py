@@ -18,6 +18,9 @@ cacheable experiment pipeline.  The data flow of every run is
   suites;
 * :mod:`~repro.experiments.suites` — the built-in ``paper`` and ``stress``
   suites (registered on import);
+* :mod:`~repro.experiments.hunted` — the ``hunted`` suite, auto-grown from
+  the minimal reproducers ``repro hunt`` commits under
+  ``src/repro/experiments/hunted/``;
 * :mod:`~repro.experiments.cache` — content-hash result cache, so repeated
   runs of unchanged scenario/seed pairs are free;
 * :mod:`~repro.experiments.runner` — batch execution (optionally over a
@@ -51,6 +54,7 @@ from .spec import (
     build_topology,
 )
 from .suites import builtin_scenarios, register_builtin_scenarios
+from .hunted import hunted_scenarios, register_hunted_scenarios
 
 __all__ = [
     "CACHE_VERSION",
@@ -73,7 +77,9 @@ __all__ = [
     "aggregate_records",
     "build_topology",
     "builtin_scenarios",
+    "hunted_scenarios",
     "register_builtin_scenarios",
+    "register_hunted_scenarios",
     "run_point",
     "run_suite",
 ]

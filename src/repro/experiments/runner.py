@@ -24,10 +24,11 @@ the machine.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..mcs.system import PROTOCOL_CRITERION
 from .cache import ResultCache
@@ -160,6 +161,24 @@ class SuiteResult:
         return [r for r in self.records if not r.as_expected]
 
 
+@contextlib.contextmanager
+def worker_pool(workers: int = 0) -> Iterator[Optional[Any]]:
+    """One shared ``multiprocessing.Pool`` for a whole batch (or ``None``).
+
+    This is the single place the experiments layer creates worker pools:
+    :func:`run_suite` runs its pending points through it, and batch-style
+    callers (the ``repro hunt`` driver) enter it once and thread the yielded
+    pool through *all* their scenario executions — one pool per batch, never
+    one per scenario.  ``workers`` of 0 or 1 yields ``None``, meaning run in
+    the parent process.
+    """
+    if workers and workers > 1:
+        with multiprocessing.Pool(processes=workers) as pool:
+            yield pool
+    else:
+        yield None
+
+
 def run_point(point: ScenarioPoint, pool: Optional[Any] = None) -> ScenarioRecord:
     """Execute one scenario point end-to-end and build its record.
 
@@ -275,7 +294,8 @@ def run_suite(
                         continue
             pending.append(point)
     if pending and workers > 1:
-        with multiprocessing.Pool(processes=workers) as pool:
+        with worker_pool(workers) as pool:
+            assert pool is not None  # workers > 1 always yields a pool
             if len(pending) > 1:
                 fresh = pool.map(run_point, pending, chunksize=1)
             else:

@@ -1,0 +1,49 @@
+"""Adversarial scenario search with automatic shrinking (``repro hunt``).
+
+The hunt subsystem turns the registries' guarantee-envelope metadata into a
+property-based search: sample random scenarios and fault schedules
+(:mod:`~repro.hunt.sampler`), run them through the streaming session, judge
+each outcome against what the protocol declared (:mod:`~repro.hunt.oracle`),
+shrink every finding to a minimal reproducer by delta debugging
+(:mod:`~repro.hunt.shrink`), and emit committed JSON reproducers
+(:mod:`~repro.hunt.findings`) that auto-grow the ``hunted`` experiment
+suite.  :func:`~repro.hunt.driver.hunt` is the staged driver tying the
+stages together; the ``repro hunt`` CLI group fronts it.
+"""
+
+from .driver import HuntReport, hunt, replay_finding, reproduces_predicate
+from .findings import (
+    FINDING_FORMAT,
+    FINDING_KINDS,
+    PROMOTABLE_KINDS,
+    Finding,
+    load_finding,
+    load_findings_dir,
+    write_finding,
+)
+from .oracle import Guarantee, TrialOutcome, classify, execute_spec, guarantee_for
+from .sampler import SpecSampler, trial_rng
+from .shrink import Shrinker, ShrinkResult
+
+__all__ = [
+    "FINDING_FORMAT",
+    "FINDING_KINDS",
+    "PROMOTABLE_KINDS",
+    "Finding",
+    "Guarantee",
+    "HuntReport",
+    "Shrinker",
+    "ShrinkResult",
+    "SpecSampler",
+    "TrialOutcome",
+    "classify",
+    "execute_spec",
+    "guarantee_for",
+    "hunt",
+    "load_finding",
+    "load_findings_dir",
+    "replay_finding",
+    "reproduces_predicate",
+    "trial_rng",
+    "write_finding",
+]

@@ -1,0 +1,236 @@
+"""The hunt driver: replay committed findings, search, classify, shrink.
+
+:func:`hunt` is the staged orchestration the subsystem revolves around:
+
+1. **Replay** — every committed reproducer is re-executed first; one that no
+   longer produces its recorded kind becomes an ``unexpected_pass``
+   regression (the hunt guarding its own corpus, the way the ``faults``
+   suite guards its hand-written scenarios).
+2. **Generate** — :class:`~repro.hunt.sampler.SpecSampler` draws ``budget``
+   specs from the hunter seed, deterministically.
+3. **Execute & classify** — each spec runs through
+   :func:`~repro.hunt.oracle.execute_spec` (optionally fanned over the
+   shared experiments worker pool — ``pool.map`` preserves input order, so
+   the findings are identical at any ``--jobs``) and
+   :func:`~repro.hunt.oracle.classify` turns outcomes into findings.
+4. **Dedup** — findings are grouped by
+   :meth:`~repro.hunt.findings.Finding.signature` and only the smallest
+   representative of each group survives: shrinking fifty copies of the
+   same best_effort duplication bug teaches nothing.
+5. **Shrink** — each surviving finding is minimised by
+   :class:`~repro.hunt.shrink.Shrinker` with "classifies to the same kind
+   (and crash type)" as the reproduces-predicate, re-validating every
+   candidate by actually running it.
+
+The result is a :class:`HuntReport`: findings with provenance (hunter seed,
+trial index, original vs shrunk operation counts, the shrink trail) ready
+to be written as reproducer files and promoted into the ``hunted`` suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..spec.scenario import ScenarioSpec
+from .findings import Finding
+from .oracle import TrialOutcome, classify, execute_spec
+from .sampler import SpecSampler
+from .shrink import Shrinker
+
+
+@dataclass
+class HuntReport:
+    """Everything one hunt produced."""
+
+    hunter_seed: int
+    budget: int
+    executed: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    regressions: List[Finding] = field(default_factory=list)
+    duplicates: int = 0          #: raw findings collapsed by deduplication
+    shrink_runs: int = 0         #: total re-executions the shrinker spent
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """No corpus regressions (fresh findings are the hunt working)."""
+        return not self.regressions
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"hunt seed={self.hunter_seed} budget={self.budget}: "
+            f"{self.executed} trials in {self.elapsed_s:.1f}s, "
+            f"{len(self.findings)} finding(s) "
+            f"(+{self.duplicates} duplicate(s)), "
+            f"{self.shrink_runs} shrink run(s)"
+        ]
+        for finding in self.findings:
+            ops = finding.operations
+            original = finding.provenance.get("original_operations", ops)
+            lines.append(
+                f"  [{finding.kind}] {finding.slug()}: "
+                f"{finding.spec.protocol.name} on {finding.spec.network.model}"
+                + ("" if finding.spec.network.fifo else "/non-FIFO")
+                + f", ops {original}->{ops}"
+                + (f" — {finding.detail}" if finding.detail else "")
+            )
+        for regression in self.regressions:
+            lines.append(
+                f"  [unexpected_pass] {regression.slug()}: committed "
+                f"{regression.provenance.get('expected_kind')!r} reproducer "
+                "no longer reproduces"
+            )
+        return lines
+
+
+def _execute_trial(spec: ScenarioSpec) -> TrialOutcome:
+    """Module-level so a multiprocessing pool can pickle it."""
+    return execute_spec(spec)
+
+
+def _run_specs(specs: Sequence[ScenarioSpec],
+               pool: Optional[Any]) -> List[TrialOutcome]:
+    """Execute specs in order — via the shared pool when given.
+
+    ``pool.map`` returns results in input order regardless of worker
+    scheduling, which is what keeps hunts deterministic at any ``--jobs``.
+    """
+    if pool is not None and len(specs) > 1:
+        return pool.map(_execute_trial, list(specs), chunksize=1)
+    return [_execute_trial(spec) for spec in specs]
+
+
+def reproduces_predicate(kind: str, crash_type: str = "") -> Callable[[ScenarioSpec], bool]:
+    """The shrinker predicate: same finding kind (and crash class) again.
+
+    Shrink candidates always run in the parent process: the predicate is
+    consulted sequentially anyway and keeping it in-process makes shrink
+    trails independent of ``--jobs``.
+    """
+    def _reproduces(candidate: ScenarioSpec) -> bool:
+        outcome = execute_spec(candidate)
+        if classify(candidate, outcome) != kind:
+            return False
+        return not crash_type or outcome.crash_type == crash_type
+    return _reproduces
+
+
+def _finding_from(spec: ScenarioSpec, outcome: TrialOutcome, kind: str,
+                  hunter_seed: int, trial: int) -> Finding:
+    from .oracle import guarantee_for
+
+    return Finding(
+        kind=kind,
+        spec=spec,
+        guaranteed=kind in ("unexpected_violation",),
+        detail=outcome.detail,
+        crash_type=outcome.crash_type if kind == "crash" else "",
+        operations=outcome.operations,
+        provenance={
+            "hunter_seed": hunter_seed,
+            "trial": trial,
+            "original_operations": outcome.operations,
+            "guarantee": guarantee_for(spec).describe(),
+        },
+    )
+
+
+def replay_finding(finding: Finding) -> Tuple[bool, Optional[str]]:
+    """Re-execute one committed finding; ``(still_reproduces, kind_seen)``."""
+    outcome = execute_spec(finding.spec)
+    seen = classify(finding.spec, outcome)
+    if seen != finding.kind:
+        return False, seen
+    if finding.crash_type and outcome.crash_type != finding.crash_type:
+        return False, seen
+    return True, seen
+
+
+def hunt(
+    budget: int,
+    hunter_seed: int = 0,
+    known: Sequence[Finding] = (),
+    pool: Optional[Any] = None,
+    shrink: bool = True,
+    shrink_budget: int = 150,
+    max_processes: int = 6,
+    max_operations: int = 40,
+    progress: Optional[Callable[[str], None]] = None,
+) -> HuntReport:
+    """Run one full hunt (see the module docstring for the stages)."""
+    started = time.perf_counter()
+    say = progress or (lambda line: None)
+    report = HuntReport(hunter_seed=hunter_seed, budget=int(budget))
+
+    # Stage 1: the committed corpus must still reproduce.
+    for finding in known:
+        still, seen = replay_finding(finding)
+        if still:
+            say(f"replayed {finding.slug()}: still {finding.kind}")
+            continue
+        regression = Finding(
+            kind="unexpected_pass",
+            spec=finding.spec,
+            detail=f"committed {finding.kind!r} reproducer now classifies "
+                   f"as {seen!r}",
+            provenance={"expected_kind": finding.kind, "observed_kind": seen,
+                        **finding.provenance},
+        )
+        report.regressions.append(regression)
+        say(f"REGRESSION {finding.slug()}: expected {finding.kind}, got {seen}")
+
+    # Stage 2: generate.
+    sampler = SpecSampler(hunter_seed, max_processes=max_processes,
+                          max_operations=max_operations)
+    specs = sampler.sample_many(budget)
+
+    # Stage 3: execute & classify (order-preserving, pool-fanned).
+    outcomes = _run_specs(specs, pool)
+    report.executed = len(outcomes)
+    raw: List[Finding] = []
+    for trial, (spec, outcome) in enumerate(zip(specs, outcomes)):
+        kind = classify(spec, outcome)
+        if kind is None:
+            continue
+        raw.append(_finding_from(spec, outcome, kind, hunter_seed, trial))
+        say(f"trial {trial}: {kind} ({spec.protocol.name} on "
+            f"{spec.network.model})")
+
+    # Stage 4: dedup — keep the smallest reproducer per signature.
+    best: dict = {}
+    for finding in raw:
+        key = finding.signature()
+        incumbent = best.get(key)
+        if incumbent is None or finding.operations < incumbent.operations:
+            best[key] = finding
+    survivors = sorted(best.values(),
+                       key=lambda f: f.provenance.get("trial", 0))
+    report.duplicates = len(raw) - len(survivors)
+
+    # Stage 5: shrink each survivor to a minimal reproducer.
+    for finding in survivors:
+        if shrink:
+            shrinker = Shrinker(
+                reproduces_predicate(finding.kind, finding.crash_type),
+                max_runs=shrink_budget,
+            )
+            shrunk = shrinker.shrink(finding.spec)
+            report.shrink_runs += shrunk.runs
+            final_outcome = execute_spec(shrunk.spec)
+            finding.spec = shrunk.spec
+            finding.operations = final_outcome.operations
+            finding.detail = final_outcome.detail or finding.detail
+            finding.provenance.update({
+                "shrink_runs": shrunk.runs,
+                "shrink_steps": shrunk.accepted,
+                "shrink_trail": shrunk.trail[-12:],
+            })
+            say(f"shrunk {finding.slug()}: "
+                f"{finding.provenance['original_operations']}"
+                f"->{finding.operations} ops in {shrunk.runs} runs")
+        report.findings.append(finding)
+
+    report.elapsed_s = time.perf_counter() - started
+    return report

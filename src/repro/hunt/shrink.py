@@ -1,0 +1,294 @@
+"""Delta-debugging shrinker: reduce a finding to a minimal reproducer.
+
+Given a spec that reproduces a finding (as judged by an injected
+``reproduces`` predicate — the shrinker itself never decides what counts),
+:class:`Shrinker` greedily minimises it along a fixed pass order:
+
+1. workload / application size parameters (operation counts first — the
+   metric the acceptance gate measures);
+2. distribution size parameters, with joint clamps so candidates stay valid
+   (``replicas_per_variable ≤ processes``, app ``workers`` divide work);
+3. network simplification — zero each fault knob, drop partition/crash
+   schedules wholesale, finally try collapsing the model to plain
+   ``reliable``;
+4. fault *windows* — halve each partition/crash interval toward its start,
+   drop individual entries from multi-entry schedules;
+5. residual knobs (``duplicate_lag``, app ``max_steps``).
+
+Every numeric parameter is lowered ddmin-style: candidates ``[floor,
+floor + (v-floor)//2, v-1]`` tried in ascending order, first reproducing
+value accepted, repeated to a fixpoint.  Candidates that fail
+``spec.validate()`` are skipped (never executed), so registry-level
+constraints stay authoritative.  The whole procedure is deterministic: no
+randomness, a bounded run budget, and a trail of accepted steps for the
+finding's provenance.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import ScenarioSpecError
+from ..spec.scenario import ScenarioSpec
+
+#: Numeric workload/app/distribution parameters the size passes may lower,
+#: with their floors.  Parameters absent from a spec are skipped.
+_WORKLOAD_FLOORS: Dict[str, int] = {
+    "operations_per_process": 1,
+    "writes_per_variable": 1,
+    "reads_per_replica": 1,
+    "rounds": 1,
+}
+_APP_FLOORS: Dict[str, int] = {
+    "rounds": 1,
+    "iterations": 1,
+    "unknowns": 1,
+    "workers": 1,
+    "rows": 1,
+    "inner": 1,
+    "cols": 1,
+    "stages": 2,
+    "items": 1,
+    "nodes": 3,
+}
+_DISTRIBUTION_FLOORS: Dict[str, int] = {
+    "processes": 2,
+    "variables": 1,
+    "replicas_per_variable": 1,
+    "intermediates": 1,
+    "groups": 1,
+    "group_size": 2,
+    "variables_per_group": 1,
+    "nodes": 3,
+}
+_FAULT_KNOBS = ("drop_rate", "duplicate_rate", "partitions", "crashes")
+
+
+@dataclass
+class ShrinkResult:
+    """The minimised spec plus how the shrinker got there."""
+
+    spec: ScenarioSpec
+    runs: int = 0                 #: predicate evaluations spent
+    accepted: int = 0             #: shrink steps that reproduced
+    trail: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (f"{self.accepted} accepted steps in {self.runs} runs: "
+                + ("; ".join(self.trail) if self.trail else "already minimal"))
+
+
+class Shrinker:
+    """Greedy fixpoint minimiser over scenario specs.
+
+    ``reproduces`` judges candidates (typically "classifies to the same
+    finding kind"); ``max_runs`` bounds the total predicate evaluations so a
+    pathological plateau cannot stall the hunt.
+    """
+
+    def __init__(self, reproduces: Callable[[ScenarioSpec], bool],
+                 max_runs: int = 200):
+        if max_runs < 1:
+            raise ScenarioSpecError(f"shrinker max_runs must be >= 1, got {max_runs}")
+        self._reproduces = reproduces
+        self._max_runs = int(max_runs)
+
+    # -- public API ------------------------------------------------------------
+    def shrink(self, spec: ScenarioSpec) -> ShrinkResult:
+        """Minimise ``spec``, assuming it currently reproduces."""
+        result = ShrinkResult(spec=copy.deepcopy(spec))
+        passes = (
+            self._shrink_workload,
+            self._shrink_distribution,
+            self._simplify_network,
+            self._shrink_fault_windows,
+            self._shrink_residual,
+        )
+        progressed = True
+        while progressed and result.runs < self._max_runs:
+            progressed = False
+            for shrink_pass in passes:
+                if result.runs >= self._max_runs:
+                    break
+                progressed |= shrink_pass(result)
+        return result
+
+    # -- candidate plumbing ----------------------------------------------------
+    def _try(self, result: ShrinkResult, candidate: ScenarioSpec,
+             note: str) -> bool:
+        """Evaluate one candidate; adopt it when it still reproduces."""
+        try:
+            candidate.validate()
+        except ScenarioSpecError:
+            return False
+        except ValueError:
+            # factory-level constraint (e.g. replicas vs processes) the spec
+            # layer delegates — an invalid candidate, not an error
+            return False
+        if result.runs >= self._max_runs:
+            return False
+        result.runs += 1
+        if self._reproduces(candidate):
+            result.spec = candidate
+            result.accepted += 1
+            result.trail.append(note)
+            return True
+        return False
+
+    def _lower_numeric(self, result: ShrinkResult, floors: Dict[str, int],
+                       get_params: Callable[[ScenarioSpec], Optional[Dict[str, Any]]],
+                       label: str) -> bool:
+        """One ddmin sweep over every numeric parameter in ``floors``."""
+        progressed = False
+        for key in sorted(floors):
+            while True:
+                params = get_params(result.spec)
+                if params is None:
+                    return progressed
+                value = params.get(key)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    break
+                floor = floors[key]
+                if value <= floor:
+                    break
+                candidates = sorted({floor, floor + (value - floor) // 2, value - 1})
+                adopted = False
+                for lowered in candidates:
+                    if lowered >= value:
+                        continue
+                    candidate = copy.deepcopy(result.spec)
+                    get_params(candidate)[key] = lowered  # type: ignore[index]
+                    if self._try(result, candidate, f"{label}.{key}: {value}→{lowered}"):
+                        adopted = progressed = True
+                        break
+                if not adopted:
+                    break
+        return progressed
+
+    # -- passes ----------------------------------------------------------------
+    def _shrink_workload(self, result: ShrinkResult) -> bool:
+        if result.spec.app is not None:
+            return self._lower_numeric(
+                result, _APP_FLOORS,
+                lambda s: s.app.params if s.app is not None else None, "app")
+        return self._lower_numeric(
+            result, _WORKLOAD_FLOORS,
+            lambda s: s.workload.params if s.workload is not None else None,
+            "workload")
+
+    def _shrink_distribution(self, result: ShrinkResult) -> bool:
+        if result.spec.distribution is None:
+            return False
+        progressed = self._lower_numeric(
+            result, _DISTRIBUTION_FLOORS,
+            lambda s: s.distribution.params if s.distribution is not None else None,
+            "distribution")
+        # Joint clamp: lowering `processes` may have left dependent params
+        # (replica counts, fault targets) above their new ceiling — those
+        # candidates simply failed validation above; retry replicas at the
+        # new ceiling once so the processes pass is not artificially stuck.
+        params = result.spec.distribution.params
+        processes = params.get("processes")
+        replicas = params.get("replicas_per_variable")
+        if isinstance(processes, int) and isinstance(replicas, int) \
+                and replicas > processes:
+            candidate = copy.deepcopy(result.spec)
+            candidate.distribution.params["replicas_per_variable"] = processes
+            progressed |= self._try(
+                result, candidate,
+                f"distribution.replicas_per_variable: {replicas}→{processes}")
+        return progressed
+
+    def _simplify_network(self, result: ShrinkResult) -> bool:
+        progressed = False
+        # Drop each fault knob wholesale (a reproducer without the knob is
+        # strictly simpler than one with a smaller rate).
+        for knob in _FAULT_KNOBS:
+            if result.spec.network.params.get(knob):
+                candidate = copy.deepcopy(result.spec)
+                del candidate.network.params[knob]
+                progressed |= self._try(result, candidate, f"network: drop {knob}")
+        # Restore FIFO ordering if the finding survives without reordering.
+        if not result.spec.network.fifo:
+            candidate = copy.deepcopy(result.spec)
+            candidate.network.fifo = True
+            progressed |= self._try(result, candidate, "network: restore fifo")
+        # Strip a nontrivial latency model back to the unit default.
+        if "latency" in result.spec.network.params:
+            candidate = copy.deepcopy(result.spec)
+            del candidate.network.params["latency"]
+            progressed |= self._try(result, candidate, "network: default latency")
+        # Finally try collapsing faulty → reliable outright.
+        if result.spec.network.model != "reliable" and \
+                not any(result.spec.network.params.get(k) for k in _FAULT_KNOBS):
+            candidate = copy.deepcopy(result.spec)
+            candidate.network.model = "reliable"
+            candidate.network.params = {
+                k: v for k, v in candidate.network.params.items()
+                if k in ("latency",)
+            }
+            progressed |= self._try(result, candidate, "network: model→reliable")
+        return progressed
+
+    def _shrink_fault_windows(self, result: ShrinkResult) -> bool:
+        progressed = False
+        for knob in ("partitions", "crashes"):
+            entries = result.spec.network.params.get(knob) or []
+            # Drop individual entries from multi-entry schedules first.
+            if len(entries) > 1:
+                for idx in range(len(entries) - 1, -1, -1):
+                    candidate = copy.deepcopy(result.spec)
+                    del candidate.network.params[knob][idx]
+                    if self._try(result, candidate, f"network: drop {knob}[{idx}]"):
+                        progressed = True
+            # Halve each remaining window toward its start.
+            for idx, entry in enumerate(result.spec.network.params.get(knob) or []):
+                window = self._window(entry)
+                if window is None:
+                    continue
+                start, end = window
+                while end - start > 1.0 and result.runs < self._max_runs:
+                    midpoint = round(start + (end - start) / 2.0, 3)
+                    candidate = copy.deepcopy(result.spec)
+                    candidate.network.params[knob][idx]["end"] = midpoint
+                    if self._try(result, candidate,
+                                 f"network: {knob}[{idx}] end {end}→{midpoint}"):
+                        progressed = True
+                        end = midpoint
+                    else:
+                        break
+        return progressed
+
+    @staticmethod
+    def _window(entry: Any) -> Optional[Tuple[float, float]]:
+        if not isinstance(entry, dict):
+            return None
+        start, end = entry.get("start"), entry.get("end")
+        if isinstance(start, (int, float)) and isinstance(end, (int, float)) \
+                and end > start:
+            return float(start), float(end)
+        return None
+
+    def _shrink_residual(self, result: ShrinkResult) -> bool:
+        progressed = False
+        lag = result.spec.network.params.get("duplicate_lag")
+        if isinstance(lag, (int, float)) and lag > 0:
+            candidate = copy.deepcopy(result.spec)
+            candidate.network.params["duplicate_lag"] = 0.0
+            progressed |= self._try(result, candidate,
+                                    f"network: duplicate_lag {lag}→0")
+        app = result.spec.app
+        if app is not None and isinstance(app.max_steps, int):
+            while result.spec.app.max_steps and result.spec.app.max_steps > 500 \
+                    and result.runs < self._max_runs:
+                halved = max(500, result.spec.app.max_steps // 2)
+                candidate = copy.deepcopy(result.spec)
+                candidate.app.max_steps = halved
+                if self._try(result, candidate,
+                             f"app.max_steps: {result.spec.app.max_steps}→{halved}"):
+                    progressed = True
+                else:
+                    break
+        return progressed

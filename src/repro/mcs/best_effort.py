@@ -45,6 +45,7 @@ from .recorder import WriteId
     criterion="pram",
     replication="partial",
     fault_tolerant=False,
+    order_tolerant=False,  # apply-on-arrival: a reordered channel regresses replicas
     description="apply-on-arrival updates with zero control information; "
                 "PRAM only on reliable FIFO channels (the faults suite "
                 "shows proven violations beyond them)",

@@ -31,6 +31,8 @@ from .vector_clock import VectorClock
     "causal_full",
     criterion="causal",
     replication="full",
+    fault_tolerant=True,   # vector-clock delivery withholds updates whose
+    order_tolerant=True,   # dependencies are missing, whatever the channel does
     description="classical vector-clock causal broadcast over complete "
                 "replication (Section 1 references [3], [4], [8], [10])",
 )

@@ -52,6 +52,8 @@ RELAY_SCOPES = ("all", "relevant", "own")
     replication="partial",
     options=("relay_scope", "share_graph"),
     needs_share_graph=True,
+    fault_tolerant=True,   # causal barriers withhold updates with missing
+    order_tolerant=True,   # dependencies; faults degrade to staleness
     description="causal barriers with dependency relaying along hoops "
                 "(Theorem 1's x-relevance made executable)",
 )

@@ -38,6 +38,8 @@ from .recorder import HistoryRecorder, WriteId
     "pram_partial",
     criterion="pram",
     replication="partial",
+    fault_tolerant=True,   # per-sender sequence gating: loss/duplication/
+    order_tolerant=True,   # partition/crash and reordering stall, never lie
     description="per-sender FIFO update propagation confined to C(x) "
                 "(Section 5, Theorem 2)",
 )

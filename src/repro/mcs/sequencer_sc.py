@@ -35,6 +35,12 @@ from .recorder import HistoryRecorder, WriteId
     replication="full",
     options=("sequencer",),
     blocking_reads=True,
+    fault_tolerant=True,   # total-order gaps block reads (stall, not lie):
+                           # liveness needs reliable channels, safety does not
+    order_tolerant=False,  # ordered-update delivery buffers by seq, but two
+                           # order-requests from one process can reach the
+                           # sequencer reordered, inverting program order in
+                           # the assigned total order (hunt reproducer)
     description="sequencer-ordered writes with a read barrier (Lamport's "
                 "sequential consistency, the strong baseline)",
 )

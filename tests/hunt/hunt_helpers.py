@@ -1,0 +1,36 @@
+"""Shared spec builder for the hunt subsystem tests."""
+
+from repro.spec.scenario import (
+    AppSpec,
+    CheckSpec,
+    DistributionSpec,
+    NetworkSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+
+def build_spec(protocol="best_effort", network=None, distribution=None,
+               workload=None, app=None, check=None, seed=0, name="hunt-test"):
+    """A small, valid scripted (or app) scenario with overridable axes."""
+    if app is None and distribution is None:
+        distribution = DistributionSpec(
+            "full_replication", {"processes": 3, "variables": 2})
+    if app is None and workload is None:
+        workload = WorkloadSpec(
+            "uniform", {"operations_per_process": 4, "write_fraction": 0.5})
+    spec = ScenarioSpec(
+        name=name,
+        protocol=ProtocolSpec(protocol),
+        distribution=distribution,
+        workload=workload,
+        app=app,
+        network=network or NetworkSpec(),
+        check=check or CheckSpec(policy="finalize", exact=False),
+        seed=seed,
+    )
+    spec.validate()
+    return spec
+
+

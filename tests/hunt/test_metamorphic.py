@@ -1,0 +1,65 @@
+"""Metamorphic property: strengthening the network never breaks consistency.
+
+For every registered protocol, the same scenario (same workload, same seed)
+is executed twice — once over a faulty channel, once over the strengthened
+reliable-FIFO channel.  Making the network *better* must never turn a
+consistent run inconsistent; and on clean FIFO channels every protocol must
+actually deliver its claimed criterion.
+"""
+
+import pytest
+
+from hunt_helpers import build_spec
+from repro.hunt import execute_spec
+from repro.spec.registry import PROTOCOL_REGISTRY
+from repro.spec.scenario import NetworkSpec, WorkloadSpec
+
+PROTOCOLS = sorted(c.name for c in PROTOCOL_REGISTRY.components())
+
+FAULTY = {
+    "drop_rate": 0.25,
+    "duplicate_rate": 0.2,
+    "duplicate_lag": 2.0,
+    "latency": {"kind": "uniform", "low": 0.2, "high": 2.5},
+    "seed": 13,
+}
+
+
+def _pair(protocol, seed):
+    workload = WorkloadSpec("uniform", {"operations_per_process": 6,
+                                        "write_fraction": 0.5})
+    faulty = build_spec(protocol=protocol, workload=workload,
+                        network=NetworkSpec("faulty", dict(FAULTY), fifo=False),
+                        seed=seed)
+    reliable = build_spec(protocol=protocol, workload=workload, seed=seed)
+    return faulty, reliable
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestStrengthening:
+    def test_faulty_consistent_implies_reliable_consistent(self, protocol):
+        for seed in (0, 1, 2):
+            faulty, reliable = _pair(protocol, seed)
+            weak = execute_spec(faulty)
+            strong = execute_spec(reliable)
+            # the metamorphic relation: removing faults and restoring FIFO
+            # order may fix a violation, never introduce one
+            assert not (weak.consistent is True and strong.consistent is False), \
+                f"{protocol} seed={seed}: strengthening broke consistency"
+            # and nothing in this spec corner may crash the stack
+            assert weak.outcome != "crash", weak.detail
+            assert strong.outcome != "crash", strong.detail
+
+    def test_reliable_fifo_always_delivers_the_claim(self, protocol):
+        _faulty, reliable = _pair(protocol, seed=4)
+        outcome = execute_spec(reliable)
+        assert outcome.outcome == "pass"
+        assert outcome.consistent is True
+
+    def test_execution_is_deterministic(self, protocol):
+        faulty, _reliable = _pair(protocol, seed=5)
+        first = execute_spec(faulty)
+        second = execute_spec(faulty)
+        assert (first.outcome, first.consistent, first.detail) == \
+            (second.outcome, second.consistent, second.detail)
+        assert first.operations == second.operations

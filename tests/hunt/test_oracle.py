@@ -1,0 +1,135 @@
+"""Guarantee-envelope projection and outcome classification."""
+
+import pytest
+
+from hunt_helpers import build_spec
+from repro.exceptions import SimulationError
+from repro.hunt import TrialOutcome, classify, execute_spec, guarantee_for
+from repro.spec.scenario import CheckSpec, NetworkSpec
+
+FAULTY_DROPS = NetworkSpec("faulty", {"drop_rate": 0.2, "seed": 1})
+RELIABLE_NOFIFO = NetworkSpec(
+    "reliable", {"latency": {"kind": "uniform", "low": 0.2, "high": 2.0}},
+    fifo=False)
+
+
+class TestGuaranteeFor:
+    def test_every_protocol_guarantees_everything_on_clean_fifo(self):
+        for protocol in ("best_effort", "pram_partial", "causal_full",
+                         "causal_partial", "sequencer_sc"):
+            guarantee = guarantee_for(build_spec(protocol=protocol))
+            assert guarantee.consistency, protocol
+            assert guarantee.liveness, protocol
+            assert guarantee.app_result, protocol
+
+    def test_best_effort_promises_nothing_under_faults_or_reordering(self):
+        assert not guarantee_for(
+            build_spec(network=FAULTY_DROPS)).consistency
+        assert not guarantee_for(
+            build_spec(network=RELIABLE_NOFIFO)).consistency
+
+    def test_hardened_protocols_keep_consistency_under_faults(self):
+        for protocol in ("pram_partial", "causal_full", "causal_partial"):
+            spec = build_spec(protocol=protocol, network=FAULTY_DROPS)
+            guarantee = guarantee_for(spec)
+            assert guarantee.consistency, protocol
+            # ...but nobody promises an *application* finishes on lossy links
+            assert not guarantee.app_result, protocol
+
+    def test_sequencer_blocks_rather_than_lies(self):
+        # clean FIFO: everything; lossy: reads may block forever (liveness
+        # off, consistency still on); non-FIFO: order requests can invert
+        # program order in the total order, so consistency is off too
+        lossy = guarantee_for(build_spec("sequencer_sc", network=FAULTY_DROPS))
+        assert lossy.consistency and not lossy.liveness
+        nofifo = guarantee_for(build_spec("sequencer_sc",
+                                          network=RELIABLE_NOFIFO))
+        assert not nofifo.consistency
+
+    def test_checking_beyond_the_claim_is_never_guaranteed(self):
+        # pram_partial claims PRAM; a trial that checks *causal* is hunting
+        # outside the envelope even on a perfectly clean network
+        spec = build_spec(
+            protocol="pram_partial",
+            check=CheckSpec(criteria=("causal",), policy="finalize",
+                            exact=False))
+        assert not guarantee_for(spec).consistency
+
+    def test_checking_weaker_implied_criteria_stays_guaranteed(self):
+        # causal implies pram implies slow: checking those is inside
+        spec = build_spec(
+            protocol="causal_full", network=FAULTY_DROPS,
+            check=CheckSpec(criteria=("pram", "slow"), policy="finalize",
+                            exact=False))
+        assert guarantee_for(spec).consistency
+
+
+class TestClassify:
+    def test_violation_outside_the_envelope(self):
+        spec = build_spec(network=FAULTY_DROPS)  # best_effort, no promises
+        kind = classify(spec, TrialOutcome("violation", consistent=False))
+        assert kind == "violation"
+
+    def test_violation_inside_the_envelope_is_the_prize(self):
+        spec = build_spec(protocol="causal_full", network=FAULTY_DROPS)
+        kind = classify(spec, TrialOutcome("violation", consistent=False))
+        assert kind == "unexpected_violation"
+
+    def test_crash_is_always_a_finding(self):
+        spec = build_spec(network=FAULTY_DROPS)
+        kind = classify(spec, TrialOutcome("crash", crash_type="KeyError"))
+        assert kind == "crash"
+
+    def test_stall_is_a_finding_only_when_liveness_was_promised(self):
+        promised = build_spec(protocol="sequencer_sc")  # clean fifo
+        starved = build_spec(protocol="sequencer_sc", network=FAULTY_DROPS)
+        assert classify(promised, TrialOutcome("stall")) == "livelock"
+        assert classify(starved, TrialOutcome("stall")) is None
+
+    def test_pass_and_unchecked_are_not_findings(self):
+        spec = build_spec()
+        assert classify(spec, TrialOutcome("pass", consistent=True)) is None
+        assert classify(spec, TrialOutcome("unchecked")) is None
+
+
+class TestExecuteSpec:
+    def test_clean_run_reports_pass_with_operation_count(self):
+        outcome = execute_spec(build_spec())
+        assert outcome.outcome == "pass"
+        assert outcome.consistent is True
+        assert outcome.operations == 3 * 4  # processes x operations_per_process
+
+    def test_crashes_become_data_not_exceptions(self, monkeypatch):
+        class ExplodingSession:
+            @staticmethod
+            def from_spec(spec, **kwargs):
+                raise KeyError("corner of the space")
+
+        monkeypatch.setattr("repro.api.Session", ExplodingSession)
+        outcome = execute_spec(build_spec())
+        assert outcome.outcome == "crash"
+        assert outcome.crash_type == "KeyError"
+
+    def test_simulation_aborts_become_stalls(self, monkeypatch):
+        class StallingSession:
+            @staticmethod
+            def from_spec(spec, **kwargs):
+                raise SimulationError("nothing deliverable")
+
+        monkeypatch.setattr("repro.api.Session", StallingSession)
+        outcome = execute_spec(build_spec())
+        assert outcome.outcome == "stall"
+
+    def test_best_effort_violation_end_to_end(self):
+        # the canonical hunted corner: best_effort on a jittery non-FIFO
+        # channel must eventually produce a *proven* violation
+        spec = build_spec(network=RELIABLE_NOFIFO, seed=11)
+        for seed in range(30):
+            spec.seed = seed
+            outcome = execute_spec(spec)
+            if outcome.outcome == "violation":
+                assert outcome.consistent is False
+                assert outcome.detail
+                assert classify(spec, outcome) == "violation"
+                return
+        pytest.fail("no reordering violation in 30 seeds")

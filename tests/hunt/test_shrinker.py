@@ -1,0 +1,174 @@
+"""Shrinker unit tests against synthetic predicates with planted minima.
+
+The predicates here never execute a scenario — they inspect the candidate
+spec directly, so each test pins exactly where the greedy ddmin descent must
+land and the whole file stays fast and deterministic.
+"""
+
+import pytest
+
+from hunt_helpers import build_spec
+from repro.exceptions import ScenarioSpecError
+from repro.hunt import Shrinker
+from repro.spec.scenario import DistributionSpec, NetworkSpec, WorkloadSpec
+
+
+def _ops(spec):
+    return spec.workload.params.get("operations_per_process")
+
+
+class TestPlantedMinimum:
+    def test_lands_exactly_on_the_planted_floor(self):
+        # reproduces iff operations_per_process >= 7: the binary descent
+        # (40 -> 20 -> 10 -> 9 -> 8 -> 7) must stop exactly at 7
+        spec = build_spec(workload=WorkloadSpec(
+            "uniform", {"operations_per_process": 40, "write_fraction": 0.5}))
+        shrinker = Shrinker(lambda s: _ops(s) >= 7)
+        result = shrinker.shrink(spec)
+        assert _ops(result.spec) == 7
+        assert result.accepted >= 1
+        assert any("operations_per_process" in note for note in result.trail)
+
+    def test_already_minimal_spec_is_left_alone(self):
+        spec = build_spec(workload=WorkloadSpec(
+            "uniform", {"operations_per_process": 1, "write_fraction": 0.5}))
+        result = Shrinker(lambda s: True).shrink(spec)
+        assert _ops(result.spec) == 1
+
+    def test_two_independent_minima_are_both_found(self):
+        spec = build_spec(
+            distribution=DistributionSpec(
+                "full_replication", {"processes": 6, "variables": 4}),
+            workload=WorkloadSpec(
+                "uniform", {"operations_per_process": 30, "write_fraction": 0.5}))
+
+        def reproduces(s):
+            return _ops(s) >= 5 and s.distribution.params["processes"] >= 4
+
+        result = Shrinker(reproduces).shrink(spec)
+        assert _ops(result.spec) == 5
+        assert result.spec.distribution.params["processes"] == 4
+
+
+class TestNetworkSimplification:
+    def test_irrelevant_fault_knobs_are_dropped_wholesale(self):
+        spec = build_spec(network=NetworkSpec("faulty", {
+            "drop_rate": 0.2,
+            "duplicate_rate": 0.2,
+            "duplicate_lag": 3.0,
+            "partitions": [{"start": 1.0, "end": 8.0, "groups": [[0]]}],
+            "seed": 7,
+            "latency": {"kind": "uniform", "low": 0.5, "high": 2.0},
+        }, fifo=False))
+        result = Shrinker(lambda s: True).shrink(spec)
+        # nothing was needed, so everything simplifies away
+        assert result.spec.network.model == "reliable"
+        assert result.spec.network.fifo is True
+        assert "latency" not in result.spec.network.params
+        for knob in ("drop_rate", "duplicate_rate", "partitions", "crashes"):
+            assert not result.spec.network.params.get(knob)
+
+    def test_load_bearing_knob_survives(self):
+        spec = build_spec(network=NetworkSpec("faulty", {
+            "drop_rate": 0.2, "duplicate_rate": 0.2, "duplicate_lag": 3.0,
+            "seed": 7,
+        }))
+
+        def reproduces(s):
+            return bool(s.network.params.get("duplicate_rate"))
+
+        result = Shrinker(reproduces).shrink(spec)
+        assert "drop_rate" not in result.spec.network.params
+        assert result.spec.network.params["duplicate_rate"] == 0.2
+        assert result.spec.network.model == "faulty"
+
+    def test_fault_window_is_halved_toward_its_start(self):
+        spec = build_spec(network=NetworkSpec("faulty", {
+            "partitions": [{"start": 2.0, "end": 12.0, "groups": [[0]]}],
+            "seed": 7,
+        }))
+
+        def reproduces(s):
+            entries = s.network.params.get("partitions") or []
+            return any(e["end"] - e["start"] >= 3.0 for e in entries)
+
+        result = Shrinker(reproduces).shrink(spec)
+        window = result.spec.network.params["partitions"][0]
+        assert window["end"] < 12.0
+        assert window["end"] - window["start"] >= 3.0
+
+    def test_redundant_schedule_entries_are_dropped(self):
+        spec = build_spec(network=NetworkSpec("faulty", {
+            "crashes": [
+                {"process": 0, "start": 0.0, "end": 4.0},
+                {"process": 1, "start": 1.0, "end": 5.0},
+                {"process": 2, "start": 2.0, "end": 6.0},
+            ],
+            "seed": 7,
+        }))
+
+        def reproduces(s):
+            crashes = s.network.params.get("crashes") or []
+            return any(e["process"] == 1 for e in crashes)
+
+        result = Shrinker(reproduces).shrink(spec)
+        crashes = result.spec.network.params["crashes"]
+        assert [e["process"] for e in crashes] == [1]
+
+
+class TestValidityAndBudget:
+    def test_candidates_are_validated_before_the_predicate_sees_them(self):
+        spec = build_spec(distribution=DistributionSpec("random", {
+            "processes": 4, "variables": 2, "replicas_per_variable": 4,
+            "seed": 3,
+        }))
+
+        def reproduces(candidate):
+            candidate.validate()  # raises if the shrinker leaked an invalid spec
+            return True
+
+        result = Shrinker(reproduces).shrink(spec)
+        # processes can only drop once replicas_per_variable was clamped first
+        assert result.spec.distribution.params["processes"] == 2
+        assert result.spec.distribution.params["replicas_per_variable"] <= 2
+
+    def test_run_budget_is_respected(self):
+        spec = build_spec(workload=WorkloadSpec(
+            "uniform", {"operations_per_process": 40, "write_fraction": 0.5}))
+        calls = []
+
+        def reproduces(s):
+            calls.append(1)
+            return _ops(s) >= 7
+
+        result = Shrinker(reproduces, max_runs=5).shrink(spec)
+        assert result.runs == len(calls) <= 5
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ScenarioSpecError):
+            Shrinker(lambda s: True, max_runs=0)
+
+    def test_shrinking_is_deterministic(self):
+        def reproduces(s):
+            return _ops(s) >= 6 and bool(s.network.params.get("drop_rate"))
+
+        def fresh():
+            return build_spec(
+                workload=WorkloadSpec("uniform", {
+                    "operations_per_process": 33, "write_fraction": 0.5}),
+                network=NetworkSpec("faulty", {
+                    "drop_rate": 0.4, "duplicate_rate": 0.1,
+                    "duplicate_lag": 3.0, "seed": 9}))
+
+        first = Shrinker(reproduces).shrink(fresh())
+        second = Shrinker(reproduces).shrink(fresh())
+        assert first.trail == second.trail
+        assert first.spec.to_dict() == second.spec.to_dict()
+        assert first.runs == second.runs
+
+    def test_input_spec_is_not_mutated(self):
+        spec = build_spec(workload=WorkloadSpec(
+            "uniform", {"operations_per_process": 20, "write_fraction": 0.5}))
+        before = spec.to_dict()
+        Shrinker(lambda s: True).shrink(spec)
+        assert spec.to_dict() == before

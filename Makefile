@@ -4,11 +4,22 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-checkers bench-checkers-baseline bench-streaming bench-apps bench-apps-baseline experiments experiments-smoke faults apps hunt-smoke clean-cache
+.PHONY: test lint bench bench-checkers bench-checkers-baseline bench-streaming bench-apps bench-apps-baseline experiments experiments-smoke faults apps hunt-smoke clean-cache
 
 # Tier-1 verification (the command ROADMAP.md records).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# One static-analysis gate, run ahead of the tests in CI: the repo's own
+# determinism & plugin-contract analyzer (src/repro/lint/: seeded-RNG and
+# wall-clock discipline, registry capability metadata, *Spec round-trip
+# symmetry, multiprocessing picklability, typed exceptions, hunted-corpus
+# schema; see docs/API.md "Static analysis" for the rule codes), plus ruff
+# and mypy when installed — both are pinned in the dev extra and present in
+# CI; in a bare environment they are reported as SKIPPED so the custom
+# rules still gate.
+lint:
+	$(PYTHON) -m repro lint --third-party
 
 # Benchmark harness: re-asserts the paper's qualitative claims under timing.
 bench:

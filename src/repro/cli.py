@@ -463,6 +463,38 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     return handlers[args.hunt_command](args)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: the determinism & plugin-contract static analyzer."""
+    import os
+
+    from .lint import all_rules, lint_paths
+    from .lint.thirdparty import run_third_party
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary}  [{rule.scope}]")
+        return 0
+    paths = list(args.paths or [])
+    if not paths:
+        paths = [p for p in ("src", "tests", "benchmarks") if os.path.isdir(p)]
+    if not paths:
+        print("repro lint: no lintable paths found", file=sys.stderr)
+        return 2
+    diagnostics = lint_paths(paths, select=args.select)
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+    exit_code = 1 if diagnostics else 0
+    summary = (f"repro lint: {len(diagnostics)} finding(s)"
+               if diagnostics else "repro lint: clean")
+    print(summary)
+    if args.third_party:
+        third_party_code, notes = run_third_party(paths)
+        for note in notes:
+            print(note)
+        exit_code = max(exit_code, third_party_code)
+    return exit_code
+
+
 def _cmd_apps_list(args: argparse.Namespace) -> int:
     from .analysis.report import render_table
     from .spec import APP_REGISTRY
@@ -748,6 +780,22 @@ def build_parser() -> argparse.ArgumentParser:
     hunt_smoke.add_argument("--jobs", type=int, default=0,
                             help="worker processes for trial execution")
 
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & plugin-contract static analysis (docs/API.md "
+             "'Static analysis' lists the rule codes)")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files/directories to lint (default: src tests "
+                           "benchmarks, whichever exist)")
+    lint.add_argument("--select", action="append", default=None,
+                      metavar="CODE",
+                      help="run only the named rule codes (repeatable)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every rule code with its summary and scope")
+    lint.add_argument("--third-party", action="store_true",
+                      help="also run ruff and mypy (skipped with a notice "
+                           "when not installed; pinned in the dev extra)")
+
     return parser
 
 
@@ -767,6 +815,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "protocols": _cmd_protocols,
         "experiments": _cmd_experiments,
         "hunt": _cmd_hunt,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,35 @@
+"""The rule families, one module each; ``all_rules`` is the engine's menu."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..diagnostics import Rule
+from . import (
+    determinism,
+    exception_discipline,
+    hunted_data,
+    mp_hygiene,
+    registry_contracts,
+    spec_roundtrip,
+)
+
+_MODULES = (
+    determinism,
+    registry_contracts,
+    spec_roundtrip,
+    mp_hygiene,
+    exception_discipline,
+    hunted_data,
+)
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, in family order (stable for ``--list-rules``)."""
+    rules: list = []
+    for module in _MODULES:
+        rules.extend(module.RULES)
+    return tuple(rules)
+
+
+__all__ = ["all_rules"]

@@ -1,0 +1,78 @@
+"""Shared AST helpers: import-alias resolution and dotted-name canonicalization.
+
+The determinism rules need to recognise ``random.random()`` whether it was
+written as ``import random``, ``import random as rnd`` or ``from random
+import random`` — this module normalises every call target back to its
+canonical dotted path (``("random", "random")``), so each rule matches on
+one table instead of chasing aliases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Tuple
+
+DottedPath = Tuple[str, ...]
+
+
+def import_aliases(tree: ast.AST) -> Dict[str, DottedPath]:
+    """Map every locally bound import name to its canonical dotted path.
+
+    ``import numpy as np`` -> ``{"np": ("numpy",)}``; ``from numpy import
+    random as npr`` -> ``{"npr": ("numpy", "random")}``.  Relative imports
+    keep only their terminal names (``from ..spec.registry import
+    register_protocol`` -> ``{"register_protocol": ("register_protocol",)}``)
+    — enough for decorator matching, where the name itself is the contract.
+    """
+    aliases: Dict[str, DottedPath] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if alias.asname:
+                    aliases[bound] = tuple(alias.name.split("."))
+                else:
+                    aliases[bound] = (bound,)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    aliases[bound] = (alias.name,)
+                continue
+            base = tuple(node.module.split("."))
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                aliases[bound] = base + (alias.name,)
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[DottedPath]:
+    """The ``a.b.c`` chain of an expression, or ``None`` if it is not one."""
+    parts: list = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def canonical_call_target(
+    call: ast.Call, aliases: Dict[str, DottedPath]
+) -> Optional[DottedPath]:
+    """The canonical dotted path a call resolves to, aliases expanded."""
+    path = dotted_name(call.func)
+    if path is None:
+        return None
+    head = aliases.get(path[0])
+    if head is not None:
+        return head + path[1:]
+    return path
+
+
+def str_constant(node: ast.AST) -> Optional[str]:
+    """The value of a string literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

@@ -1,0 +1,231 @@
+"""Determinism rules (RPR101–RPR104).
+
+The whole reproduction pipeline promises *one seed, one run*: a scenario
+seed must reproduce the history, verdicts and fault schedule bit for bit
+(the PR 4 determinism audit, the hunt corpus, the experiment cache all rely
+on it).  These rules reject the constructs that silently break that promise:
+
+* **RPR101** — calls on the module-level :mod:`random` API
+  (``random.random()``, ``random.shuffle()``, ``random.seed()``...), which
+  share hidden global state.  All randomness must flow through an explicit
+  ``random.Random(seed)`` instance.
+* **RPR102** — legacy module-level :mod:`numpy.random` calls, and
+  ``numpy.random.default_rng()`` without a seed argument.
+* **RPR103** — wall-clock and entropy sources (``time.time``,
+  ``time.perf_counter``, ``datetime.now``, ``os.urandom``, ``uuid.uuid4``,
+  ...) inside the simulation packages ``repro.{core,mcs,netsim,dsm,hunt,
+  workloads}``, where simulated time is the only clock.  Measurement code
+  (``analysis``, ``benchmarks``) may time things; the simulator may not.
+* **RPR104** — iteration over expressions that are unordered by
+  construction (set literals/comprehensions, ``set()``/``frozenset()``
+  calls, set-algebra results) inside the same simulation packages.  Static
+  analysis cannot prove where the order ends up, but in those packages it
+  feeds signatures, seeds or emitted artifacts — wrap the iterable in
+  ``sorted(...)`` to pin it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..diagnostics import Diagnostic, Rule
+from ._names import canonical_call_target, import_aliases
+
+#: The packages whose code runs *inside* the simulation — simulated time and
+#: seeded randomness only (rules RPR103/RPR104).
+SIMULATION_PACKAGES = frozenset(
+    {"core", "mcs", "netsim", "dsm", "hunt", "workloads"}
+)
+
+#: Wall-clock / entropy call targets forbidden inside the simulation.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "process_time"),
+        ("datetime", "datetime", "now"),
+        ("datetime", "datetime", "utcnow"),
+        ("datetime", "datetime", "today"),
+        ("datetime", "date", "today"),
+        ("os", "urandom"),
+        ("uuid", "uuid1"),
+        ("uuid", "uuid4"),
+    }
+)
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+
+def _calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def check_unseeded_random(context) -> List[Diagnostic]:
+    """RPR101: module-level ``random.*`` calls share hidden global state."""
+    if not context.in_repro():
+        return []
+    aliases = import_aliases(context.tree)
+    findings: List[Diagnostic] = []
+    for call in _calls(context.tree):
+        target = canonical_call_target(call, aliases)
+        if target is None or len(target) != 2 or target[0] != "random":
+            continue
+        if target[1] == "Random":
+            continue  # an explicit instance; seeding is the caller's contract
+        findings.append(
+            Diagnostic(
+                path=context.path,
+                line=call.lineno,
+                col=call.col_offset,
+                code="RPR101",
+                message=(
+                    f"unseeded module-level random.{target[1]}() — draw from "
+                    "an explicit random.Random(seed) instance instead"
+                ),
+            )
+        )
+    return findings
+
+
+def check_unseeded_numpy(context) -> List[Diagnostic]:
+    """RPR102: legacy ``numpy.random`` module calls / unseeded ``default_rng``."""
+    if not context.in_repro():
+        return []
+    aliases = import_aliases(context.tree)
+    findings: List[Diagnostic] = []
+    for call in _calls(context.tree):
+        target = canonical_call_target(call, aliases)
+        if target is None or len(target) != 3 or target[:2] != ("numpy", "random"):
+            continue
+        if target[2] == "default_rng":
+            if call.args or call.keywords:
+                continue
+            message = (
+                "numpy.random.default_rng() without a seed is entropy-seeded "
+                "— pass the scenario seed"
+            )
+        else:
+            message = (
+                f"legacy module-level numpy.random.{target[2]}() shares global "
+                "state — use numpy.random.default_rng(seed)"
+            )
+        findings.append(
+            Diagnostic(
+                path=context.path,
+                line=call.lineno,
+                col=call.col_offset,
+                code="RPR102",
+                message=message,
+            )
+        )
+    return findings
+
+
+def check_wall_clock(context) -> List[Diagnostic]:
+    """RPR103: wall-clock/entropy reads inside the simulation packages."""
+    if not context.in_subpackages(SIMULATION_PACKAGES):
+        return []
+    aliases = import_aliases(context.tree)
+    findings: List[Diagnostic] = []
+    for call in _calls(context.tree):
+        target = canonical_call_target(call, aliases)
+        if target is None or target not in WALL_CLOCK_CALLS:
+            continue
+        findings.append(
+            Diagnostic(
+                path=context.path,
+                line=call.lineno,
+                col=call.col_offset,
+                code="RPR103",
+                message=(
+                    f"{'.'.join(target)}() reads the wall clock / OS entropy "
+                    "inside the simulation — use simulated time or the "
+                    "scenario seed"
+                ),
+            )
+        )
+    return findings
+
+
+def _is_unordered(node: ast.AST) -> bool:
+    """Whether an expression is unordered *by construction*."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_METHODS:
+            return _is_unordered(node.func.value) or any(
+                _is_unordered(arg) for arg in node.args
+            )
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_unordered(node.left) or _is_unordered(node.right)
+    return False
+
+
+def check_unordered_iteration(context) -> List[Diagnostic]:
+    """RPR104: iterating a set-valued expression inside the simulation."""
+    if not context.in_subpackages(SIMULATION_PACKAGES):
+        return []
+    iterables: List[ast.AST] = []
+    for node in ast.walk(context.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            iterables.extend(gen.iter for gen in node.generators)
+    findings: List[Diagnostic] = []
+    for iterable in iterables:
+        if _is_unordered(iterable):
+            findings.append(
+                Diagnostic(
+                    path=context.path,
+                    line=iterable.lineno,
+                    col=iterable.col_offset,
+                    code="RPR104",
+                    message=(
+                        "iteration over an unordered set expression — order "
+                        "can reach signatures, seeds or emitted artifacts; "
+                        "wrap it in sorted(...)"
+                    ),
+                )
+            )
+    return findings
+
+
+RULES = (
+    Rule(
+        code="RPR101",
+        summary="no module-level random.* calls (use random.Random(seed))",
+        check=check_unseeded_random,
+        scope="src/repro",
+    ),
+    Rule(
+        code="RPR102",
+        summary="no legacy numpy.random calls / unseeded default_rng()",
+        check=check_unseeded_numpy,
+        scope="src/repro",
+    ),
+    Rule(
+        code="RPR103",
+        summary="no wall-clock or OS entropy inside the simulation packages",
+        check=check_wall_clock,
+        scope="repro.{core,mcs,netsim,dsm,hunt,workloads}",
+    ),
+    Rule(
+        code="RPR104",
+        summary="no iteration over unordered set expressions in the simulation",
+        check=check_unordered_iteration,
+        scope="repro.{core,mcs,netsim,dsm,hunt,workloads}",
+    ),
+)

@@ -1,0 +1,68 @@
+"""Exception-discipline rule (RPR501).
+
+PR 3 replaced the ad-hoc ``ValueError``/``KeyError`` raises across the
+checker core and the protocol stack with the typed
+:mod:`repro.exceptions` family (every member stays ``ValueError``/
+``KeyError``-compatible, so callers can still catch the builtin).  The
+typed classes are what the session facade, the hunt classifier and the
+suite gates dispatch on — a new bare builtin raise in ``repro.core`` or
+``repro.mcs`` silently falls outside that dispatch.
+
+* **RPR501** — ``raise ValueError(...)`` / ``raise KeyError(...)`` (or the
+  bare class) inside ``repro.core``/``repro.mcs``.  Raise the matching
+  :mod:`repro.exceptions` type instead, or add one; re-raises of a caught
+  builtin (``raise exc``) and other exception types are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..diagnostics import Diagnostic, Rule
+
+TYPED_PACKAGES = frozenset({"core", "mcs"})
+BARE_BUILTINS = frozenset({"ValueError", "KeyError"})
+
+
+def check_bare_raises(context) -> List[Diagnostic]:
+    """RPR501: bare builtin raises inside the typed-exception packages."""
+    if not context.in_subpackages(TYPED_PACKAGES):
+        return []
+    findings: List[Diagnostic] = []
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        raised = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            raised = exc.func.id
+        elif isinstance(exc, ast.Name):
+            raised = exc.id
+        if raised not in BARE_BUILTINS:
+            continue
+        findings.append(
+            Diagnostic(
+                path=context.path,
+                line=node.lineno,
+                col=node.col_offset,
+                code="RPR501",
+                message=(
+                    f"bare raise {raised} in repro.{context.subpackage()} — "
+                    "use the typed repro.exceptions family (each member "
+                    "remains builtin-compatible) so facade and hunt "
+                    "classification can dispatch on it"
+                ),
+            )
+        )
+    return findings
+
+
+RULES = (
+    Rule(
+        code="RPR501",
+        summary="no bare ValueError/KeyError raises in repro.{core,mcs}",
+        check=check_bare_raises,
+        scope="repro.{core,mcs}",
+    ),
+)

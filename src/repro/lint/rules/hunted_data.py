@@ -1,0 +1,90 @@
+"""Hunted-reproducer schema rule (RPR601).
+
+The committed minimal reproducers under ``src/repro/experiments/hunted/``
+are executable data: the ``hunted`` suite replays each one and gates CI on
+its recorded verdict.  Documentation files (``EXPERIMENTS.md`` and the JSON
+tables embedded in docs) are *excluded from every lint glob* — but the
+reproducer corpus must not ride along with that exclusion, or a malformed
+file would sit silent until the suite crashes on it.  The engine therefore
+globs exactly ``**/experiments/hunted/*.json`` and this rule validates each
+file by schema:
+
+* **RPR601** — the file must parse as JSON, load as a format-1
+  :class:`repro.hunt.findings.Finding`, carry a promotable ``kind``, embed
+  a spec that passes full :meth:`~repro.spec.ScenarioSpec.validate`, and be
+  named after the finding's slug (so filenames cannot drift from content).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Sequence
+
+from ..diagnostics import Diagnostic, Rule
+
+
+def _diagnostic(context, message: str) -> Diagnostic:
+    return Diagnostic(
+        path=context.path, line=1, col=0, code="RPR601", message=message
+    )
+
+
+def check_hunted_corpus(contexts: Sequence) -> List[Diagnostic]:
+    """RPR601: every committed reproducer validates against the schema."""
+    findings: List[Diagnostic] = []
+    json_contexts = [c for c in contexts if c.kind == "json"]
+    if not json_contexts:
+        return []
+    # Imported lazily: the rule is data validation on top of the project's
+    # own loader, so schema and replay can never disagree.
+    from ...exceptions import ReproError
+    from ...hunt.findings import PROMOTABLE_KINDS, Finding
+
+    for context in json_contexts:
+        try:
+            data = json.loads(context.source)
+        except ValueError as exc:
+            findings.append(_diagnostic(context, f"reproducer is not JSON: {exc}"))
+            continue
+        try:
+            finding = Finding.from_dict(data)
+            finding.spec.validate()
+        except ReproError as exc:
+            findings.append(
+                _diagnostic(context, f"reproducer fails schema validation: {exc}")
+            )
+            continue
+        if finding.kind not in PROMOTABLE_KINDS:
+            findings.append(
+                _diagnostic(
+                    context,
+                    f"reproducer kind {finding.kind!r} is not promotable "
+                    f"(allowed: {list(PROMOTABLE_KINDS)}) and cannot ride "
+                    "the hunted suite",
+                )
+            )
+            continue
+        expected = os.path.basename(context.path)
+        slug = f"{finding.slug()}.json"
+        if expected != slug:
+            findings.append(
+                _diagnostic(
+                    context,
+                    f"reproducer filename {expected!r} does not match its "
+                    f"finding slug {slug!r} — rename so content and name "
+                    "cannot drift apart",
+                )
+            )
+    return findings
+
+
+RULES = (
+    Rule(
+        code="RPR601",
+        summary="committed hunt reproducers validate against the Finding schema",
+        check=check_hunted_corpus,
+        scope="src/repro/experiments/hunted/*.json",
+        project=True,
+    ),
+)

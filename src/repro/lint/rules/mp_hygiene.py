@@ -1,0 +1,142 @@
+"""Multiprocessing-hygiene rules (RPR401–RPR402).
+
+The experiment runner, the per-process consistency fan-out and the hunt
+driver all dispatch work through one shared ``multiprocessing`` pool
+(:func:`repro.experiments.runner.worker_pool`).  Everything submitted must
+pickle; a lambda or closure raises ``PicklingError`` only at run time, on
+whatever machine first runs with ``--workers`` > 1.  These rules reject the
+unpicklable shapes at the call site:
+
+* **RPR401** — a ``lambda`` or a function defined inside another function
+  (a closure) passed as the callable to a pool dispatch method
+  (``pool.map``/``imap``/``starmap``/``apply_async``/...).
+* **RPR402** — a bound method (``obj.method``) passed to a pool dispatch
+  method: pickling it drags the whole instance through the pipe and fails
+  outright for unpicklable hosts (simulators, live registries).  Dispatch a
+  module-level function taking the data as an argument instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..diagnostics import Diagnostic, Rule
+
+#: Dispatch methods whose first positional argument is the callable.
+POOL_METHODS = frozenset(
+    {"map", "map_async", "imap", "imap_unordered",
+     "starmap", "starmap_async", "apply", "apply_async"}
+)
+
+
+def _receiver_is_pool(node: ast.Attribute) -> bool:
+    value = node.value
+    if isinstance(value, ast.Name):
+        return "pool" in value.id.lower()
+    if isinstance(value, ast.Attribute):
+        return "pool" in value.attr.lower()
+    if isinstance(value, ast.Call):
+        inner = value.func
+        if isinstance(inner, ast.Name):
+            return "pool" in inner.id.lower()
+        if isinstance(inner, ast.Attribute):
+            return "pool" in inner.attr.lower()
+    return False
+
+
+def _nested_function_names(tree: ast.AST) -> Set[str]:
+    """Names of functions defined inside another function in this module."""
+    nested: Set[str] = set()
+
+    class _Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.depth = 0
+
+        def _visit_function(self, node) -> None:
+            if self.depth > 0:
+                nested.add(node.name)
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        visit_FunctionDef = _visit_function
+        visit_AsyncFunctionDef = _visit_function
+
+    _Visitor().visit(tree)
+    return nested
+
+
+def check_pool_callables(context) -> List[Diagnostic]:
+    """RPR401/RPR402 at every pool dispatch call site."""
+    nested = _nested_function_names(context.tree)
+    findings: List[Diagnostic] = []
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in POOL_METHODS:
+            continue
+        if not _receiver_is_pool(func):
+            continue
+        if not node.args:
+            continue
+        callable_arg = node.args[0]
+        if isinstance(callable_arg, ast.Lambda):
+            findings.append(
+                Diagnostic(
+                    path=context.path,
+                    line=callable_arg.lineno,
+                    col=callable_arg.col_offset,
+                    code="RPR401",
+                    message=(
+                        f"lambda passed to pool.{func.attr}() cannot pickle — "
+                        "dispatch a module-level function"
+                    ),
+                )
+            )
+        elif isinstance(callable_arg, ast.Name) and callable_arg.id in nested:
+            findings.append(
+                Diagnostic(
+                    path=context.path,
+                    line=callable_arg.lineno,
+                    col=callable_arg.col_offset,
+                    code="RPR401",
+                    message=(
+                        f"closure {callable_arg.id!r} passed to "
+                        f"pool.{func.attr}() cannot pickle — hoist it to "
+                        "module level"
+                    ),
+                )
+            )
+        elif isinstance(callable_arg, ast.Attribute):
+            findings.append(
+                Diagnostic(
+                    path=context.path,
+                    line=callable_arg.lineno,
+                    col=callable_arg.col_offset,
+                    code="RPR402",
+                    message=(
+                        f"bound method passed to pool.{func.attr}() pickles "
+                        "its whole instance — dispatch a module-level "
+                        "function over plain data"
+                    ),
+                )
+            )
+    return findings
+
+
+RULES = (
+    Rule(
+        code="RPR401",
+        summary="no lambdas/closures dispatched to multiprocessing pools",
+        check=check_pool_callables,
+        scope="everywhere",
+    ),
+    Rule(
+        code="RPR402",
+        summary="no bound methods dispatched to multiprocessing pools",
+        check=check_pool_callables,
+        scope="everywhere",
+    ),
+)

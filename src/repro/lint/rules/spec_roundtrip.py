@@ -1,0 +1,213 @@
+"""Spec round-trip rules (RPR301–RPR303).
+
+Every ``*Spec`` dataclass promises ``spec == Spec.from_dict(spec.to_dict())``
+— the experiment cache hashes the dict form, the hunt corpus stores it, and
+``repro run --scenario file.json`` loads it.  A field added to the dataclass
+but forgotten in one of the two methods silently drops data on the round
+trip (the cache would then collide specs that differ in the new field).
+
+The check is structural, straight off the AST: collect the dataclass's
+field names, collect the string-literal keys each method touches, and
+require every field to appear on both sides.
+
+* **RPR301** — a field never written by ``to_dict`` (keys are dict-literal
+  entries, ``data["key"] = ...`` stores and ``.setdefault("key", ...)``).
+* **RPR302** — a field never read by ``from_dict`` (keys are
+  ``data["key"]`` loads, ``data.get("key", ...)``/``.pop`` calls and
+  ``"key" in data`` tests).
+* **RPR303** — a ``*Spec`` dataclass defining only one of the two methods
+  (an asymmetric surface cannot round-trip at all).
+
+Methods that defer to :func:`dataclasses.fields`/``asdict`` cover every
+field by construction and are exempt from the per-field comparison.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..diagnostics import Diagnostic, Rule
+from ._names import str_constant
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _field_names(node: ast.ClassDef) -> List[str]:
+    names: List[str] = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        if "ClassVar" in ast.dump(statement.annotation):
+            continue
+        if statement.target.id.startswith("_"):
+            continue
+        names.append(statement.target.id)
+    return names
+
+
+def _method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+def _uses_dataclass_introspection(method: ast.FunctionDef) -> bool:
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        called = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if called in ("fields", "asdict", "astuple"):
+            return True
+    return False
+
+
+def _to_dict_keys(method: ast.FunctionDef) -> Set[str]:
+    keys: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                value = str_constant(key) if key is not None else None
+                if value is not None:
+                    keys.add(value)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    value = str_constant(target.slice)
+                    if value is not None:
+                        keys.add(value)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "setdefault":
+                if node.args:
+                    value = str_constant(node.args[0])
+                    if value is not None:
+                        keys.add(value)
+    return keys
+
+
+def _from_dict_keys(method: ast.FunctionDef) -> Set[str]:
+    keys: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Subscript):
+            value = str_constant(node.slice)
+            if value is not None:
+                keys.add(value)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in ("get", "pop"):
+                if node.args:
+                    value = str_constant(node.args[0])
+                    if value is not None:
+                        keys.add(value)
+        elif isinstance(node, ast.Compare):
+            if any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+                value = str_constant(node.left)
+                if value is not None:
+                    keys.add(value)
+    return keys
+
+
+def check_spec_roundtrip(context) -> List[Diagnostic]:
+    """RPR301/RPR302/RPR303 over every ``*Spec`` dataclass in the file."""
+    if not context.in_repro():
+        return []
+    findings: List[Diagnostic] = []
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Spec") or not _is_dataclass_decorated(node):
+            continue
+        to_dict = _method(node, "to_dict")
+        from_dict = _method(node, "from_dict")
+        if to_dict is None and from_dict is None:
+            continue  # an in-memory spec that never serialises
+        if to_dict is None or from_dict is None:
+            present, absent = (
+                ("to_dict", "from_dict") if from_dict is None
+                else ("from_dict", "to_dict")
+            )
+            findings.append(
+                Diagnostic(
+                    path=context.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code="RPR303",
+                    message=(
+                        f"{node.name} defines {present} without {absent} — "
+                        "a one-sided surface cannot JSON-round-trip"
+                    ),
+                )
+            )
+            continue
+        fields = _field_names(node)
+        if to_dict is not None and not _uses_dataclass_introspection(to_dict):
+            written = _to_dict_keys(to_dict)
+            for name in fields:
+                if name not in written:
+                    findings.append(
+                        Diagnostic(
+                            path=context.path,
+                            line=to_dict.lineno,
+                            col=to_dict.col_offset,
+                            code="RPR301",
+                            message=(
+                                f"{node.name}.to_dict never writes field "
+                                f"{name!r} — the round trip drops it"
+                            ),
+                        )
+                    )
+        if from_dict is not None and not _uses_dataclass_introspection(from_dict):
+            read = _from_dict_keys(from_dict)
+            for name in fields:
+                if name not in read:
+                    findings.append(
+                        Diagnostic(
+                            path=context.path,
+                            line=from_dict.lineno,
+                            col=from_dict.col_offset,
+                            code="RPR302",
+                            message=(
+                                f"{node.name}.from_dict never reads field "
+                                f"{name!r} — the round trip resets it"
+                            ),
+                        )
+                    )
+    return findings
+
+
+RULES = (
+    Rule(
+        code="RPR301",
+        summary="every *Spec dataclass field is written by to_dict",
+        check=check_spec_roundtrip,
+        scope="src/repro",
+    ),
+    Rule(
+        code="RPR302",
+        summary="every *Spec dataclass field is read by from_dict",
+        check=check_spec_roundtrip,
+        scope="src/repro",
+    ),
+    Rule(
+        code="RPR303",
+        summary="*Spec dataclasses define to_dict and from_dict together",
+        check=check_spec_roundtrip,
+        scope="src/repro",
+    ),
+)

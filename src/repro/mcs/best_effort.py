@@ -46,6 +46,7 @@ from .recorder import WriteId
     replication="partial",
     fault_tolerant=False,
     order_tolerant=False,  # apply-on-arrival: a reordered channel regresses replicas
+    blocking_reads=False,  # reads return the local replica immediately
     description="apply-on-arrival updates with zero control information; "
                 "PRAM only on reliable FIFO channels (the faults suite "
                 "shows proven violations beyond them)",

@@ -33,6 +33,7 @@ from .vector_clock import VectorClock
     replication="full",
     fault_tolerant=True,   # vector-clock delivery withholds updates whose
     order_tolerant=True,   # dependencies are missing, whatever the channel does
+    blocking_reads=False,  # reads return the local replica immediately
     description="classical vector-clock causal broadcast over complete "
                 "replication (Section 1 references [3], [4], [8], [10])",
 )

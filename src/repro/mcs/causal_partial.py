@@ -54,6 +54,7 @@ RELAY_SCOPES = ("all", "relevant", "own")
     needs_share_graph=True,
     fault_tolerant=True,   # causal barriers withhold updates with missing
     order_tolerant=True,   # dependencies; faults degrade to staleness
+    blocking_reads=False,  # reads return the local replica immediately
     description="causal barriers with dependency relaying along hoops "
                 "(Theorem 1's x-relevance made executable)",
 )

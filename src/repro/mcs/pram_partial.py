@@ -40,6 +40,7 @@ from .recorder import HistoryRecorder, WriteId
     replication="partial",
     fault_tolerant=True,   # per-sender sequence gating: loss/duplication/
     order_tolerant=True,   # partition/crash and reordering stall, never lie
+    blocking_reads=False,  # reads return the local replica immediately
     description="per-sender FIFO update propagation confined to C(x) "
                 "(Section 5, Theorem 2)",
 )

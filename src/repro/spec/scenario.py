@@ -26,7 +26,14 @@ fault schedule), so one integer reproduces a run bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # concrete result types, imported lazily at runtime
+    from ..api.session import RunReport
+    from ..core.distribution import VariableDistribution
+    from ..dsm.app import AppInstance
+    from ..netsim.models import NetworkModel
+    from ..workloads.topology import WeightedDigraph
 
 from ..exceptions import (
     AppCompatibilityError,
@@ -113,7 +120,7 @@ class TopologySpec:
         component = TOPOLOGY_REGISTRY.get(self.name)
         component.validate_params(self.params)
 
-    def build(self):
+    def build(self) -> "WeightedDigraph":
         """Materialise the :class:`~repro.workloads.topology.WeightedDigraph`."""
         return TOPOLOGY_REGISTRY.create(self.name, **self.params)
 
@@ -166,7 +173,7 @@ class DistributionSpec:
             return
         component.validate_params(self.params)
 
-    def build(self, seed: int = 0):
+    def build(self, seed: int = 0) -> "VariableDistribution":
         """Materialise the distribution (``seed`` fills in a missing family seed)."""
         self.validate()
         component = self._component()
@@ -208,7 +215,7 @@ class WorkloadSpec:
                 f"write_fraction must be in [0, 1], got {fraction!r}"
             )
 
-    def build(self, distribution, seed: int = 0) -> List[Any]:
+    def build(self, distribution: "VariableDistribution", seed: int = 0) -> List[Any]:
         """Generate the access script for ``distribution`` with the given seed."""
         self.validate()
         return WORKLOAD_REGISTRY.get(self.pattern).factory(
@@ -285,7 +292,7 @@ class AppSpec:
             protocol.component,
         )
 
-    def build(self, seed: int = 0):
+    def build(self, seed: int = 0) -> "AppInstance":
         """Materialise the :class:`repro.dsm.AppInstance`.
 
         The scenario ``seed`` feeds the factory's input generation unless the
@@ -374,7 +381,7 @@ class NetworkSpec:
         except NetworkModelError as exc:
             raise ScenarioSpecError(f"network spec invalid: {exc}") from exc
 
-    def build(self, seed: int = 0):
+    def build(self, seed: int = 0) -> "NetworkModel":
         """Materialise the :class:`~repro.netsim.models.NetworkModel`.
 
         The scenario ``seed`` becomes the model's fault/latency seed unless
@@ -532,7 +539,7 @@ class ScenarioSpec:
         """The criteria to check: explicit ones, else the protocol's claim."""
         return self.check.criteria or (self.protocol.criterion,)
 
-    def run(self, **session_kwargs: Any):
+    def run(self, **session_kwargs: Any) -> "RunReport":
         """Build and run a :class:`repro.api.Session` for this scenario."""
         from ..api import Session  # local import: the facade builds on us
 

@@ -28,6 +28,7 @@ from .topology import WeightedDigraph
 
 
 @register_distribution("full_replication", params=("processes", "variables"),
+                       seeded=False,
                        description="every process replicates every variable (the classical setting)")
 def full_replication(processes: int, variables: int) -> VariableDistribution:
     """Every process replicates every variable."""
@@ -37,6 +38,7 @@ def full_replication(processes: int, variables: int) -> VariableDistribution:
 
 @register_distribution("disjoint_blocks",
                        params=("groups", "group_size", "variables_per_group"),
+                       seeded=False,
                        description="hoop-free disjoint clusters (Figure 1)")
 def disjoint_blocks(groups: int, group_size: int, variables_per_group: int = 1) -> VariableDistribution:
     """Hoop-free distribution: ``groups`` disjoint clusters of processes.
@@ -54,6 +56,7 @@ def disjoint_blocks(groups: int, group_size: int, variables_per_group: int = 1) 
 
 
 @register_distribution("chain", params=("intermediates", "studied_variable"),
+                       seeded=False,
                        description="the Figure 2 hoop, parameterised by its length")
 def chain_distribution(intermediates: int, studied_variable: str = "x") -> VariableDistribution:
     """The hoop pattern of the paper's Figure 2, parameterised by its length.
@@ -111,6 +114,8 @@ _TOPOLOGY_PARAM_UNION = tuple(sorted({
     params=("topology",) + _TOPOLOGY_PARAM_UNION,
     dynamic_params=True,   # topology params are validated by the topology itself
     topology_nested=True,
+    seeded=False,          # a seeded topology (e.g. "random") takes its own
+                           # seed parameter; the family itself draws nothing
     description="one variable per node of a topology, replicated at the "
                 "owner and its successors (the Section 6 pattern)",
 )

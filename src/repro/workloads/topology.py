@@ -186,7 +186,8 @@ def random_network(
     return graph
 
 
-@register_topology("line", params=("nodes", "weight"))
+@register_topology("line", params=("nodes", "weight"),
+                   description="a path network (the worst-case hoop chain)")
 def line_network(nodes: int, weight: float = 1.0) -> WeightedDigraph:
     """A simple line (path) network, useful for worst-case hoop scenarios."""
     graph = WeightedDigraph()
@@ -197,7 +198,8 @@ def line_network(nodes: int, weight: float = 1.0) -> WeightedDigraph:
     return graph
 
 
-@register_topology("ring", params=("nodes", "weight"))
+@register_topology("ring", params=("nodes", "weight"),
+                   description="a directed ring (a line below three nodes)")
 def ring_network(nodes: int, weight: float = 1.0) -> WeightedDigraph:
     """A ring network (degenerates to a line for fewer than three nodes)."""
     if nodes < 3:
@@ -208,7 +210,9 @@ def ring_network(nodes: int, weight: float = 1.0) -> WeightedDigraph:
     return graph
 
 
-@register_topology("star", params=("nodes", "weight"))
+@register_topology("star", params=("nodes", "weight"),
+                   description="a hub-and-leaves star (maximally skewed "
+                               "replication degree under neighbourhood)")
 def star_network(nodes: int, weight: float = 1.0) -> WeightedDigraph:
     """A star network: node 1 is the hub, every other node a leaf.
 

@@ -1,0 +1,6 @@
+"""Bad: module-level random calls share hidden global state."""
+import random
+
+
+def jitter() -> float:
+    return random.random() + random.randint(0, 3)

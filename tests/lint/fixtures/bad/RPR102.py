@@ -1,0 +1,7 @@
+"""Bad: legacy numpy.random module API, and an entropy-seeded generator."""
+import numpy as np
+
+
+def sample():
+    unseeded = np.random.default_rng()
+    return np.random.rand(3), unseeded

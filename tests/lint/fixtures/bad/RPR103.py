@@ -1,0 +1,10 @@
+"""Bad: wall-clock reads inside a simulation package."""
+import os
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    datetime.now()
+    os.urandom(8)
+    return time.time()

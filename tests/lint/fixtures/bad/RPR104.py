@@ -1,0 +1,7 @@
+"""Bad: iterating a set expression — order is interpreter-dependent."""
+
+
+def emit(items, extra):
+    for name in set(items) | {"x"}:
+        yield name
+    return [v for v in frozenset(extra)]

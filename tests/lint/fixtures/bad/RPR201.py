@@ -1,0 +1,8 @@
+"""Bad: a protocol registration leaving its guarantee envelope implicit."""
+from repro.spec import register_protocol
+
+
+@register_protocol("half_declared", criterion="causal",
+                   description="declares no envelope at all")
+class HalfDeclared:
+    pass

@@ -1,0 +1,17 @@
+"""Bad: component registrations missing required capability metadata."""
+from repro.spec import register_app, register_distribution, register_topology
+
+
+@register_distribution("mystery", params=("n",))
+def mystery(n):
+    return None
+
+
+@register_topology("bare")
+def bare():
+    return None
+
+
+@register_app("opaque", params=())
+def opaque():
+    return None

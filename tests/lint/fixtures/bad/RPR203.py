@@ -1,0 +1,12 @@
+"""Bad: the same name registered twice for one component kind."""
+from repro.spec import register_workload
+
+
+@register_workload("clashing", description="first claim on the name")
+def first(distribution, seed=0):
+    return []
+
+
+@register_workload("clashing", description="second claim on the name")
+def second(distribution, seed=0):
+    return []

@@ -1,0 +1,14 @@
+"""Bad: dynamic and non-slug registration names defeat static auditing."""
+from repro.spec import register_workload
+
+NAME = "computed"
+
+
+@register_workload(NAME, description="name invisible to grep")
+def computed(distribution, seed=0):
+    return []
+
+
+@register_workload("Not-A-Slug", description="not addressable from the CLI")
+def dashed(distribution, seed=0):
+    return []

@@ -1,0 +1,16 @@
+"""Bad: a field the round trip silently drops on the way out."""
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass
+class LossySpec:
+    name: str
+    extra: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "LossySpec":
+        return cls(name=data["name"], extra=data.get("extra", 0))

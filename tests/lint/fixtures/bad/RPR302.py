@@ -1,0 +1,16 @@
+"""Bad: a field the round trip writes but never reads back."""
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass
+class ForgetfulSpec:
+    name: str
+    extra: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "extra": self.extra}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ForgetfulSpec":
+        return cls(name=data["name"])

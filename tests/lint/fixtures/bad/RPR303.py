@@ -1,0 +1,11 @@
+"""Bad: a one-sided serialization surface cannot round-trip."""
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass
+class OneWaySpec:
+    name: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name}

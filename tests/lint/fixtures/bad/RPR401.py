@@ -1,0 +1,10 @@
+"""Bad: unpicklable callables dispatched to a multiprocessing pool."""
+
+
+def fan_out(pool, items):
+    results = pool.map(lambda item: item * 2, items)
+
+    def local(item):
+        return item + 1
+
+    return results + pool.map(local, items)

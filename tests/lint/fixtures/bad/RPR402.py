@@ -1,0 +1,9 @@
+"""Bad: a bound method drags its whole instance through the pickle pipe."""
+
+
+class Runner:
+    def one(self, item):
+        return item
+
+    def run(self, pool, items):
+        return pool.map(self.one, items)

@@ -1,0 +1,9 @@
+"""Bad: bare builtin raises in the typed-exception packages."""
+
+
+def pick(mapping, key):
+    if key not in mapping:
+        raise KeyError(key)
+    if not mapping[key]:
+        raise ValueError(f"empty entry for {key}")
+    return mapping[key]

@@ -1,0 +1,7 @@
+"""Good: all randomness flows through an explicit seeded instance."""
+import random
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random() + rng.randint(0, 3)

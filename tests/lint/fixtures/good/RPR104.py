@@ -1,0 +1,7 @@
+"""Good: every set is pinned with sorted() before iteration."""
+
+
+def emit(items, extra):
+    for name in sorted(set(items) | {"x"}):
+        yield name
+    return [v for v in sorted(frozenset(extra))]

@@ -1,0 +1,14 @@
+"""Good: the full envelope, spelled out."""
+from repro.spec import register_protocol
+
+
+@register_protocol(
+    "fully_declared",
+    criterion="causal",
+    fault_tolerant=False,
+    order_tolerant=False,
+    blocking_reads=False,
+    description="every capability claim is explicit",
+)
+class FullyDeclared:
+    pass

@@ -1,0 +1,19 @@
+"""Good: every component kind carries its required metadata."""
+from repro.spec import register_app, register_distribution, register_topology
+
+
+@register_distribution("declared", params=("n",), seeded=False,
+                       description="a deterministic family")
+def declared(n):
+    return None
+
+
+@register_topology("documented", description="a documented topology")
+def documented():
+    return None
+
+
+@register_app("described", params=(), blocking_ok=False,
+              variables_per_process="1", description="a described app")
+def described():
+    return None

@@ -1,0 +1,13 @@
+"""Good: distinct names; an explicit replace=True override is also fine."""
+from repro.spec import register_workload
+
+
+@register_workload("one_name", description="one workload")
+def first(distribution, seed=0):
+    return []
+
+
+@register_workload("one_name", replace=True,
+                   description="a deliberate, visible override")
+def second(distribution, seed=0):
+    return []

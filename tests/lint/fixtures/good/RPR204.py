@@ -1,0 +1,7 @@
+"""Good: a static lowercase slug literal."""
+from repro.spec import register_workload
+
+
+@register_workload("plain_slug", description="greppable and CLI-addressable")
+def plain(distribution, seed=0):
+    return []

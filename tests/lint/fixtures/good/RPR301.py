@@ -1,0 +1,19 @@
+"""Good: every field appears on both sides of the round trip."""
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass
+class FaithfulSpec:
+    name: str
+    extra: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"name": self.name}
+        if self.extra:
+            data["extra"] = self.extra
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "FaithfulSpec":
+        return cls(name=data["name"], extra=data.get("extra", 0))

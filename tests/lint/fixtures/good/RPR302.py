@@ -1,0 +1,16 @@
+"""Good: from_dict reads every field it is supposed to restore."""
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass
+class RestoringSpec:
+    name: str
+    extra: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "extra": self.extra}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "RestoringSpec":
+        return cls(name=data["name"], extra=data.get("extra", 0))

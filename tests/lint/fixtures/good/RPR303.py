@@ -1,0 +1,7 @@
+"""Good: an in-memory spec that never serialises defines neither method."""
+from dataclasses import dataclass
+
+
+@dataclass
+class EphemeralSpec:
+    name: str

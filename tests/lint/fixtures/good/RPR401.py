@@ -1,0 +1,9 @@
+"""Good: a module-level function pickles by reference."""
+
+
+def double(item):
+    return item * 2
+
+
+def fan_out(pool, items):
+    return pool.map(double, items)

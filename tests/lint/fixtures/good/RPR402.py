@@ -1,0 +1,10 @@
+"""Good: dispatch a module-level function over plain data."""
+
+
+def one(item):
+    return item
+
+
+class Runner:
+    def run(self, pool, items):
+        return pool.map(one, items)

@@ -1,0 +1,10 @@
+"""Good: the typed family (builtin-compatible) keeps dispatch working."""
+from repro.exceptions import UnknownCriterionError, WitnessError
+
+
+def pick(mapping, key):
+    if key not in mapping:
+        raise UnknownCriterionError(key)
+    if not mapping[key]:
+        raise WitnessError(f"empty entry for {key}")
+    return mapping[key]

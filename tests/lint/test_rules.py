@@ -1,0 +1,147 @@
+"""Fixture-driven rule tests: each code fires on its bad snippet, stays
+quiet on its good one.
+
+The committed fixtures live in ``tests/lint/fixtures/{bad,good}/<CODE>.*``
+(the engine's discovery deliberately skips ``fixtures`` directories, so the
+self-host lint never trips over them).  Because most rules are scoped by
+package, the harness plants each fixture inside a throwaway fake tree
+(``<tmp>/src/repro/<subpackage>/...``) before linting it — the same path
+shapes the real tree has.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.engine import load_context, run_lint
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+#: Where each rule's fixture must sit for the rule to be in scope, and the
+#: filename it must carry there.  RPR601's good fixture keeps its original
+#: corpus filename because the rule checks filename == finding slug.
+DESTINATIONS = {
+    "RPR101": "src/repro/netsim/snippet.py",
+    "RPR102": "src/repro/analysis/snippet.py",
+    "RPR103": "src/repro/netsim/snippet.py",
+    "RPR104": "src/repro/core/snippet.py",
+    "RPR201": "src/repro/mcs/snippet.py",
+    "RPR202": "src/repro/workloads/snippet.py",
+    "RPR203": "src/repro/mcs/snippet.py",
+    "RPR204": "src/repro/workloads/snippet.py",
+    "RPR301": "src/repro/spec/snippet.py",
+    "RPR302": "src/repro/spec/snippet.py",
+    "RPR303": "src/repro/spec/snippet.py",
+    "RPR401": "src/repro/experiments/snippet.py",
+    "RPR402": "src/repro/experiments/snippet.py",
+    "RPR501": "src/repro/core/snippet.py",
+    "RPR601": {
+        "bad": "src/repro/experiments/hunted/violation-zzz-t0.json",
+        "good": "src/repro/experiments/hunted/violation-best_effort-nofifo-t28.json",
+    },
+}
+
+ALL_CODES = sorted(DESTINATIONS)
+
+
+def _fixture_path(kind, code):
+    suffix = ".json" if code == "RPR601" else ".py"
+    return os.path.join(FIXTURES, kind, code + suffix)
+
+
+def _plant_and_lint(tmp_path, kind, code):
+    destination = DESTINATIONS[code]
+    if isinstance(destination, dict):
+        destination = destination[kind]
+    target = tmp_path / destination
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(_fixture_path(kind, code), target)
+    return lint_paths([str(tmp_path)])
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_bad_fixture_fires(tmp_path, code):
+    diagnostics = _plant_and_lint(tmp_path, "bad", code)
+    fired = {d.code for d in diagnostics}
+    assert code in fired, (
+        f"{code} did not fire on its bad fixture; got {sorted(fired)}"
+    )
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_bad_fixture_fires_nothing_foreign(tmp_path, code):
+    """A bad fixture demonstrates exactly its own family, nothing else."""
+    diagnostics = _plant_and_lint(tmp_path, "bad", code)
+    foreign = {d.code for d in diagnostics} - {code}
+    assert not foreign, f"bad fixture for {code} also fired {sorted(foreign)}"
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_good_fixture_stays_quiet(tmp_path, code):
+    diagnostics = _plant_and_lint(tmp_path, "good", code)
+    assert not diagnostics, (
+        f"good fixture for {code} fired "
+        f"{[d.render() for d in diagnostics]}"
+    )
+
+
+def test_noqa_suppresses_named_code(tmp_path):
+    target = tmp_path / "src/repro/netsim/snippet.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        "import random\n"
+        "value = random.random()  # repro: noqa[RPR101]\n"
+    )
+    assert lint_paths([str(tmp_path)]) == []
+
+
+def test_noqa_with_other_code_does_not_suppress(tmp_path):
+    target = tmp_path / "src/repro/netsim/snippet.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        "import random\n"
+        "value = random.random()  # repro: noqa[RPR103]\n"
+    )
+    diagnostics = lint_paths([str(tmp_path)])
+    assert [d.code for d in diagnostics] == ["RPR101"]
+
+
+def test_bare_noqa_suppresses_everything_on_the_line(tmp_path):
+    target = tmp_path / "src/repro/netsim/snippet.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        "import random, time\n"
+        "value = random.random() + time.time()  # repro: noqa\n"
+    )
+    assert lint_paths([str(tmp_path)]) == []
+
+
+def test_select_restricts_to_named_codes(tmp_path):
+    target = tmp_path / "src/repro/netsim/snippet.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        "import random, time\n"
+        "value = random.random() + time.time()\n"
+    )
+    diagnostics = lint_paths([str(tmp_path)], select=["RPR103"])
+    assert [d.code for d in diagnostics] == ["RPR103"]
+
+
+def test_syntax_error_is_reported_not_crashed(tmp_path):
+    target = tmp_path / "src/repro/core/snippet.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text("def broken(:\n")
+    diagnostics = lint_paths([str(tmp_path)])
+    assert [d.code for d in diagnostics] == ["RPR001"]
+
+
+def test_run_lint_accepts_prebuilt_contexts(tmp_path):
+    """The engine API the fixture tests rely on: explicit contexts."""
+    target = tmp_path / "src/repro/mcs/snippet.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(_fixture_path("bad", "RPR201"), target)
+    context = load_context(str(target))
+    diagnostics = run_lint([context])
+    assert {d.code for d in diagnostics} == {"RPR201"}

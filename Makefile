@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-checkers bench-checkers-baseline bench-streaming bench-apps bench-apps-baseline experiments experiments-smoke faults apps hunt-smoke clean-cache
+.PHONY: test lint bench bench-checkers bench-checkers-baseline bench-streaming bench-apps bench-apps-baseline experiments experiments-smoke faults apps hunt-smoke serve-smoke clean-cache
 
 # Tier-1 verification (the command ROADMAP.md records).
 test:
@@ -85,6 +85,13 @@ faults:
 hunt-smoke:
 	$(PYTHON) -m repro hunt smoke --budget 25 --seed 0
 	$(PYTHON) -m repro experiments run --suite hunted --no-cache
+
+# Serve gate: export one violating and one clean scenario as repro-trace-v1
+# streams, run both through the online monitoring service as concurrent
+# tenants, and require the windowed monitors to prove the violation exactly
+# while leaving the clean tenant undisturbed (exit 1 on any mismatch).
+serve-smoke:
+	$(PYTHON) -m repro serve smoke
 
 clean-cache:
 	rm -rf .repro-cache

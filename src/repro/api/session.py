@@ -312,6 +312,16 @@ class Session:
         with the number of distinct writes only).
     pool:
         Optional worker pool forwarded to per-process checkers at finalize.
+    trace_out:
+        Path of a ``repro-trace-v1`` JSONL file to export the run's delivery
+        log to (see :mod:`repro.serve.trace`).  The recorder's subscription
+        stream feeds the export directly, so it works with
+        ``keep_history=False`` too; the file carries the distribution, the
+        protocol and the seed, enough for ``repro trace replay`` and
+        ``repro serve`` to re-check the run without the simulator.
+    trace_scenario:
+        Free-form scenario label stamped into the exported trace's meta
+        record (e.g. the experiment point name).
     """
 
     def __init__(
@@ -339,6 +349,8 @@ class Session:
         max_steps_per_process: int = 200_000,
         max_events: int = 5_000_000,
         diagnose_app_failures: bool = True,
+        trace_out: Optional[str] = None,
+        trace_scenario: str = "",
     ) -> None:
         if isinstance(protocol, ProtocolSpec):
             protocol_options = {**protocol.options, **(protocol_options or {})}
@@ -375,6 +387,8 @@ class Session:
         self._max_steps = max_steps_per_process
         self._max_events = max_events
         self._diagnose_app_failures = diagnose_app_failures
+        self._trace_out = trace_out
+        self._trace_scenario = trace_scenario
 
         if app is not None:
             self.app: Optional[AppInstance] = self._resolve_app(app, component)
@@ -417,6 +431,8 @@ class Session:
         pool: Optional[Any] = None,
         settle_every: int = 1,
         max_retries: int = 1_000,
+        trace_out: Optional[str] = None,
+        trace_scenario: str = "",
     ) -> "Session":
         """Build a session from one typed :class:`repro.spec.ScenarioSpec`.
 
@@ -443,6 +459,8 @@ class Session:
             pool=pool,
             settle_every=settle_every,
             max_retries=max_retries,
+            trace_out=trace_out,
+            trace_scenario=trace_scenario,
         )
 
     # -- input resolution ----------------------------------------------------
@@ -583,8 +601,17 @@ class Session:
                 if violated and self.policy.fail_fast:
                     raise _AbortAppRun()
 
+        trace_log: List[Tuple[Operation, Optional[Operation]]] = []
+
+        def collect_trace(op: Operation, source: Optional[Operation]) -> None:
+            trace_log.append((op, source))
+
         if self.checkers:
             self.recorder.subscribe(feed)
+        if self._trace_out is not None:
+            # Separate listener: the export must see every recorded
+            # operation even when checking is disabled entirely.
+            self.recorder.subscribe(collect_trace)
         try:
             if app_mode:
                 if until is not None:
@@ -616,6 +643,8 @@ class Session:
         finally:
             if self.checkers:
                 self.recorder.unsubscribe(feed)
+            if self._trace_out is not None:
+                self.recorder.unsubscribe(collect_trace)
 
         simulator = self.system.simulator
         results = {name: checker.finalize() for name, checker in self.checkers.items()}
@@ -660,7 +689,58 @@ class Session:
         if self.keep_history:
             report.history = self.recorder.history()
             report.read_from = self.recorder.read_from()
+        if self._trace_out is not None:
+            self._export_trace(self._trace_out, trace_log)
         return report
+
+    def _export_trace(
+        self,
+        path: str,
+        trace_log: Sequence[Tuple[Operation, Optional[Operation]]],
+    ) -> int:
+        """Write the run's delivery log as a ``repro-trace-v1`` file."""
+        # Local import: repro.api must stay importable without the serve
+        # subsystem's asyncio machinery (and serve's smoke path imports us).
+        from ..serve.trace import TraceMeta, TraceRecord, write_trace
+
+        meta = TraceMeta(
+            scenario=self._trace_scenario,
+            protocol=self.protocol,
+            distribution={
+                var: sorted(self.distribution.holders(var))
+                for var in sorted(self.distribution.variables)
+            },
+            criteria=self.criteria if self._check else (),
+            seed=self.seed,
+        )
+        records = [
+            TraceRecord(
+                kind=op.kind.value,
+                process=op.process,
+                variable=op.variable,
+                value=op.value,
+                index=op.index,
+                invoked_at=op.invoked_at,
+                completed_at=op.completed_at,
+                source=(None if source is None
+                        else (source.process, source.index)),
+            )
+            for op, source in trace_log
+        ]
+        return write_trace(path, meta, records)
+
+    @staticmethod
+    def check_trace(path: str, criteria: Sequence[str] = (), exact: bool = True) -> Any:
+        """Batch-check an exported trace file (the offline oracle).
+
+        Delegates to :func:`repro.serve.replay.replay_trace`; returns its
+        :class:`~repro.serve.replay.ReplayReport`.  The per-criterion
+        verdicts match what a fresh run with ``keep_history=True`` would
+        have produced — the trace carries the complete delivery log.
+        """
+        from ..serve.replay import replay_trace
+
+        return replay_trace(path, criteria=criteria, exact=exact)
 
     def _drive_app(self) -> Tuple[int, bool, AppVerdict]:
         """Run the application programs on a DSM runtime over our system.

@@ -44,6 +44,19 @@ any Python:
     finding to a minimal reproducer by delta debugging, and promote
     reproducers into the auto-grown ``hunted`` suite (see docs/API.md,
     "Hunting for violations").
+``trace``
+    Work with exported ``repro-trace-v1`` operation traces (``info`` /
+    ``replay``): inspect a trace file, batch-check it with the offline
+    oracle, and optionally re-check it through the bounded-memory windowed
+    monitor (``--window N``) to compare verdicts and eviction metrics.
+    Traces are produced by ``repro run --trace-out FILE``.
+``serve``
+    The online monitoring service (``run`` / ``smoke``): a long-running
+    asyncio server that ingests operation streams over TCP (and tails trace
+    files), multiplexes concurrent tenants — each with its own criterion,
+    check policy and bounded eviction window — and reports per-tenant
+    verdicts plus ingest-lag/backpressure metrics (see docs/API.md, "Online
+    monitoring").
 """
 
 from __future__ import annotations
@@ -109,8 +122,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"error: cannot read scenario file {args.scenario}: {exc}",
                   file=sys.stderr)
             return 2
+        # a promoted hunt finding wraps its ScenarioSpec: unwrap it so the
+        # committed reproducers replay directly (repro run --scenario
+        # src/repro/experiments/hunted/<slug>.json)
+        if isinstance(data, dict) and "kind" in data \
+                and isinstance(data.get("spec"), dict):
+            data = data["spec"]
         session = Session.from_spec(ScenarioSpec.from_dict(data),
-                                    keep_history=not args.no_history)
+                                    keep_history=not args.no_history,
+                                    trace_out=args.trace_out,
+                                    trace_scenario=args.scenario)
     else:
         network = None
         if args.network:
@@ -124,6 +145,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             exact=_resolve_exactness(args, network),
             keep_history=not args.no_history,
             network=network,
+            trace_out=args.trace_out,
         )
         if getattr(args, "app", None):
             from .spec import AppSpec
@@ -157,6 +179,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
     report = session.run(until=args.until)
     print(report.summary())
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
     if args.verbose and report.history is not None:
         print()
         print(report.history.describe())
@@ -463,6 +487,143 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     return handlers[args.hunt_command](args)
 
 
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from .serve.trace import read_trace
+
+    try:
+        meta, records = read_trace(args.file)
+    except OSError as exc:
+        print(f"error: cannot read trace file {args.file}: {exc}",
+              file=sys.stderr)
+        return 2
+    reads = sum(1 for r in records if r.is_read)
+    print(f"trace               : {args.file}")
+    print(f"scenario            : {meta.scenario or '-'}")
+    print(f"protocol            : {meta.protocol or '-'}")
+    print(f"seed                : {meta.seed if meta.seed is not None else '-'}")
+    print(f"criteria            : {', '.join(meta.criteria) or '-'}")
+    print(f"operations          : {len(records)} "
+          f"({len(records) - reads} writes, {reads} reads)")
+    processes = sorted({r.process for r in records})
+    print(f"processes           : {len(processes)} {processes}")
+    if meta.distribution:
+        holders = ", ".join(f"{var}->{sorted(pids)}"
+                            for var, pids in sorted(meta.distribution.items()))
+        print(f"distribution        : {holders}")
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from .serve.replay import replay_trace, replay_windowed
+
+    try:
+        report = replay_trace(args.file, criteria=args.criterion or (),
+                              exact=not args.heuristic)
+    except OSError as exc:
+        print(f"error: cannot read trace file {args.file}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(report.summary())
+    status = 0 if report.consistent else 1
+    if args.window:
+        criterion = report.criteria[0]
+        result, metrics = replay_windowed(
+            args.file, criterion=criterion, window=args.window,
+            policy=args.policy,
+        )
+        print(f"windowed ({criterion}, window={args.window}): {result.summary()}")
+        print(f"  retained {metrics.retained}/{metrics.ops_fed} ops "
+              f"(peak {metrics.peak_retained}), evicted "
+              f"{metrics.evicted_proved} proved + {metrics.evicted_forced} "
+              f"forced, {metrics.standins} stand-ins")
+        batch = report.results[criterion]
+        if not result.consistent and batch.consistent:
+            # the windowed relations are subsets of the batch relations, so
+            # this direction of disagreement is a checker bug, not noise
+            print("error: windowed monitor proved a violation the batch "
+                  "oracle rejects", file=sys.stderr)
+            return 2
+        if not result.consistent:
+            status = 1
+    return status
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {"info": _cmd_trace_info, "replay": _cmd_trace_replay}
+    return handlers[args.trace_command](args)
+
+
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.service import MonitorService
+    from .serve.spec import ServeSpec, TenantSpec, TraceSpec
+
+    if args.config:
+        try:
+            with open(args.config, "r", encoding="utf-8") as handle:
+                spec = ServeSpec.from_dict(json.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read serve config {args.config}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        tenants = []
+        for entry in args.tenant or ():
+            name, sep, path = entry.partition("=")
+            if not sep or not name or not path:
+                print(f"error: --tenant wants NAME=TRACEFILE, got {entry!r}",
+                      file=sys.stderr)
+                return 2
+            tenants.append(TenantSpec(
+                name=name, criterion=args.criterion,
+                trace=TraceSpec(path, follow=args.follow),
+            ))
+        spec = ServeSpec(host=args.host, port=args.port, window=args.window,
+                         status_interval=args.status_interval,
+                         tenants=tuple(tenants))
+    spec.validate()
+    file_tenants = [t.name for t in spec.tenants if t.trace is not None]
+    if args.oneshot and not file_tenants:
+        print("error: --oneshot needs at least one file-backed tenant",
+              file=sys.stderr)
+        return 2
+
+    async def _run() -> int:
+        service = MonitorService(spec)
+        port = await service.start()
+        print(json.dumps({"type": "listening", "host": spec.host,
+                          "port": port}, sort_keys=True), flush=True)
+        try:
+            if args.oneshot:
+                while True:
+                    live = [service.tenants.get(name) for name in file_tenants]
+                    if all(t is not None and t.done.is_set() for t in live):
+                        break
+                    await asyncio.sleep(0.05)
+            else:
+                await asyncio.Event().wait()  # serve until interrupted
+        finally:
+            verdicts = await service.stop()
+        return 0 if all(v["consistent"] for v in verdicts) else 1
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_serve_smoke(args: argparse.Namespace) -> int:
+    from .serve.smoke import run_smoke
+
+    return run_smoke()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    handlers = {"run": _cmd_serve_run, "smoke": _cmd_serve_smoke}
+    return handlers[args.serve_command](args)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: the determinism & plugin-contract static analyzer."""
     import os
@@ -625,6 +786,10 @@ def build_parser() -> argparse.ArgumentParser:
         target.add_argument("--max-steps", type=int, default=None,
                             help="per-program step budget for application "
                                  "runs (livelocks are diagnosed, not spun out)")
+        target.add_argument("--trace-out", default=None, metavar="FILE",
+                            help="export the run's delivery log as a "
+                                 "repro-trace-v1 JSONL file (replayable with "
+                                 "'repro trace replay' and 'repro serve')")
 
     run = sub.add_parser("run", help="one streaming session with incremental checking")
     add_session_flags(run)
@@ -780,6 +945,67 @@ def build_parser() -> argparse.ArgumentParser:
     hunt_smoke.add_argument("--jobs", type=int, default=0,
                             help="worker processes for trial execution")
 
+    trace = sub.add_parser(
+        "trace",
+        help="inspect and re-check exported operation traces (info/replay)")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_info = tsub.add_parser("info", help="print a trace file's metadata")
+    trace_info.add_argument("file", help="repro-trace-v1 JSONL file")
+
+    trace_replay = tsub.add_parser(
+        "replay", help="batch-check a trace with the offline oracle")
+    trace_replay.add_argument("file", help="repro-trace-v1 JSONL file")
+    trace_replay.add_argument("--criterion", action="append", default=None,
+                              help="criterion to check (repeatable; default: "
+                                   "the criteria recorded in the trace)")
+    trace_replay.add_argument("--heuristic", action="store_true",
+                              help="skip the exact serialization search")
+    trace_replay.add_argument("--window", type=int, default=None,
+                              help="also run the bounded-memory windowed "
+                                   "monitor with this eviction window and "
+                                   "compare the verdicts")
+    trace_replay.add_argument("--policy", default="fail_fast",
+                              help="check policy of the windowed monitor "
+                                   "(default fail_fast)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="online multi-tenant consistency-monitoring service (run/smoke)")
+    ssub = serve.add_subparsers(dest="serve_command", required=True)
+
+    serve_run = ssub.add_parser(
+        "run", help="start the TCP monitoring service")
+    serve_run.add_argument("--config", default=None, metavar="FILE",
+                           help="ServeSpec JSON file (host/port/window/"
+                                "tenants); overrides the flags below")
+    serve_run.add_argument("--host", default="127.0.0.1")
+    serve_run.add_argument("--port", type=int, default=0,
+                           help="listen port (0 picks an ephemeral port, "
+                                "printed on the 'listening' line)")
+    serve_run.add_argument("--window", type=int, default=512,
+                           help="default eviction window for tenants that do "
+                                "not choose their own (default 512)")
+    serve_run.add_argument("--status-interval", type=float, default=1.0,
+                           help="seconds between status snapshots on stdout "
+                                "(0 disables the stream)")
+    serve_run.add_argument("--tenant", action="append", default=None,
+                           metavar="NAME=TRACEFILE",
+                           help="preconfigure a file-backed tenant "
+                                "(repeatable)")
+    serve_run.add_argument("--criterion", default="causal",
+                           help="criterion for --tenant file tenants")
+    serve_run.add_argument("--follow", action="store_true",
+                           help="tail --tenant trace files for appended "
+                                "records instead of stopping at EOF")
+    serve_run.add_argument("--oneshot", action="store_true",
+                           help="exit (with the combined verdict) once every "
+                                "file-backed tenant's stream is finalised")
+
+    serve_smoke = ssub.add_parser(
+        "smoke", help="two-tenant end-to-end smoke over a real socket "
+                      "(the CI gate)")
+
     lint = sub.add_parser(
         "lint",
         help="determinism & plugin-contract static analysis (docs/API.md "
@@ -815,6 +1041,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "protocols": _cmd_protocols,
         "experiments": _cmd_experiments,
         "hunt": _cmd_hunt,
+        "trace": _cmd_trace,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
     }
     try:

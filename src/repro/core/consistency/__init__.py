@@ -15,7 +15,10 @@ from .incremental import (
     IncrementalChecker,
     PrefixChecker,
     StreamMonitors,
+    WindowedChecker,
+    WindowMetrics,
     incremental_checker,
+    windowed_checker,
 )
 from .registry import CRITERIA, IMPLIES, all_checkers, get_checker, implied_criteria
 from .sequential import SequentialChecker
@@ -32,7 +35,10 @@ __all__ = [
     "IncrementalChecker",
     "PrefixChecker",
     "StreamMonitors",
+    "WindowedChecker",
+    "WindowMetrics",
     "incremental_checker",
+    "windowed_checker",
     "LazyCausalChecker",
     "LazySemiCausalChecker",
     "PRAMChecker",

@@ -48,12 +48,19 @@ is complete.  This module provides that protocol:
 from __future__ import annotations
 
 import abc
+import bisect
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ...exceptions import ConsistencyCheckError, UnknownCriterionError
+from ...exceptions import (
+    ConsistencyCheckError,
+    DistributionError,
+    UnknownCriterionError,
+)
+from ..distribution import VariableDistribution
 from ..history import History
-from ..operations import Operation
+from ..operations import Operation, OpKind, decode_value, encode_value
+from ..share_graph import ShareGraph
 from .base import CheckResult, ConsistencyChecker, PerProcessChecker
 
 
@@ -215,6 +222,59 @@ class StreamMonitors:
                     f"completed before the read was invoked (real time)"
                 )
         return violations
+
+    def observed_index(self, reader: int, variable: str, writer: int) -> int:
+        """Highest write index of ``writer`` on ``variable`` that ``reader``
+        has observed so far (``-1`` when nothing was observed).
+
+        This is the eviction proof obligation of
+        :class:`WindowedChecker`: once every potential reader of a variable
+        has advanced past a write, any *future* read of that write is itself
+        a monitor-provable violation, so retaining the write adds nothing.
+        """
+        return self._observed.get((reader, variable), {}).get(writer, -1)
+
+    # -- checkpointing ---------------------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the monitor state (see ``load_state``)."""
+        observed = [
+            [reader, variable, writer, index]
+            for (reader, variable), frontier in sorted(self._observed.items())
+            for writer, index in sorted(frontier.items())
+        ]
+        last = [
+            [variable, op.process, op.index, encode_value(op.value),
+             op.invoked_at, op.completed_at]
+            for variable, op in sorted(self._last_completed_write.items())
+        ]
+        return {"real_time": self._real_time, "observed": observed, "last": last}
+
+    def load_state(
+        self,
+        state: Dict[str, Any],
+        resolve: Optional[Callable[[int, int], Optional[Operation]]] = None,
+    ) -> None:
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        ``resolve`` maps a ``(process, index)`` write reference to a retained
+        :class:`Operation`, so the staleness monitor's identity comparison
+        keeps working after a restore; unresolved references are rebuilt as
+        equivalent stand-in writes.
+        """
+        self._real_time = bool(state.get("real_time", self._real_time))
+        self._observed = {}
+        for reader, variable, writer, index in state.get("observed", ()):
+            frontier = self._observed.setdefault((reader, variable), {})
+            frontier[writer] = max(frontier.get(writer, -1), index)
+        self._last_completed_write = {}
+        for variable, process, index, value, invoked, completed in state.get("last", ()):
+            op = resolve(process, index) if resolve is not None else None
+            if op is None:
+                op = Operation.write(
+                    process, variable, decode_value(value), index=index,
+                    invoked_at=invoked, completed_at=completed,
+                )
+            self._last_completed_write[variable] = op
 
 
 # ---------------------------------------------------------------------------
@@ -420,8 +480,486 @@ class BatchAdapter(PrefixChecker):
 
 
 # ---------------------------------------------------------------------------
+# Windowed (bounded-memory) checking over unbounded streams
+# ---------------------------------------------------------------------------
+
+#: Format tag of :meth:`WindowedChecker.checkpoint` payloads.
+CHECKPOINT_FORMAT = "repro-windowed-checkpoint-v1"
+
+
+@dataclass
+class WindowMetrics:
+    """Bounded-memory accounting of one :class:`WindowedChecker`."""
+
+    ops_fed: int = 0
+    retained: int = 0
+    peak_retained: int = 0
+    evicted_proved: int = 0
+    evicted_forced: int = 0
+    standins: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "ops_fed": self.ops_fed,
+            "retained": self.retained,
+            "peak_retained": self.peak_retained,
+            "evicted_proved": self.evicted_proved,
+            "evicted_forced": self.evicted_forced,
+            "standins": self.standins,
+        }
+
+
+class WindowedChecker(IncrementalChecker):
+    """Bounded-memory incremental checker over an unbounded operation stream.
+
+    The buffering checkers above retain the whole stream; this one retains a
+    *window* and garbage-collects the prefix, which is what lets the
+    ``repro serve`` monitors run forever.  Soundness rests on two pillars:
+
+    * **Monotone subset.**  Every retained view is a sub-history of the full
+      stream whose program order, read-from and derived closures are subsets
+      of the full relations, so every bad pattern found over the window is a
+      bad pattern of the full history — windowed violations are *exact*
+      proofs.  Clean verdicts are heuristic (``exact=False``): evicted
+      operations were only covered by the O(1) :class:`StreamMonitors`,
+      which keep running — exactly — across evictions because their state
+      (per-reader writer frontiers) never references retained operations.
+
+    * **Proved eviction (paper, Theorem 1).**  A write ``w_p(x)#k`` can stop
+      participating in *new* bad patterns once every process that can ever
+      read ``x`` has observed a write of ``p`` on ``x`` with index ``>= k``:
+      by Theorem 1 the processes whose operations are x-relevant are
+      ``C(x)`` plus x-hoop processes, and only the holders ``C(x)`` invoke
+      operations on ``x`` themselves — so any future read of ``w`` would
+      make its reader's per-writer frontier go backwards, which the stream
+      monitors flag in O(1) without the write being retained.  Such
+      evictions are counted ``evicted_proved``.  When the window overflows
+      anyway, the oldest unpinned operations are evicted *forced* (counted
+      separately): that only weakens the windowed check's completeness,
+      never its soundness.
+
+    Two invariants keep the windowed views free of spurious bad patterns:
+    the read-from source of every retained read stays pinned (a read whose
+    writer is missing from the view would be reported as a violation by the
+    serialization pre-check), and the newest retained write per
+    ``(process, variable)`` is never evicted (it resolves future source
+    references without reconstruction).  A source reference to an evicted
+    write is rebuilt by :meth:`resolve_source` as an equivalent stand-in,
+    re-inserted at its original index — the windowed :class:`History`
+    accepts gap-tolerant, strictly-increasing indices.
+
+    The full state round-trips through JSON (:meth:`checkpoint` /
+    :meth:`restore`), so a serving process can be stopped and resumed
+    without replaying the stream.
+    """
+
+    def __init__(
+        self,
+        checker: ConsistencyChecker,
+        window: int = 512,
+        distribution: Optional["VariableDistribution"] = None,
+        real_time: bool = False,
+    ) -> None:
+        if window < 4:
+            raise ConsistencyCheckError(
+                f"windowed checking needs a window of at least 4 operations, got {window}"
+            )
+        self._checker = checker
+        self.criterion = checker.name
+        self._window = int(window)
+        self._distribution = distribution
+        self._share = None if distribution is None else ShareGraph(distribution)
+        self._real_time = real_time
+        self.start()
+
+    # -- protocol --------------------------------------------------------------
+    def start(self, universe: Optional[Tuple[int, ...]] = None) -> None:
+        self._monitors = StreamMonitors(real_time=self._real_time)
+        self._ops: Dict[int, List[Operation]] = {
+            pid: [] for pid in (universe or ())
+        }
+        self._read_from: Dict[Operation, Optional[Operation]] = {}
+        self._pins: Dict[Operation, int] = {}
+        self._frontier: Dict[Tuple[int, str], Operation] = {}
+        self._by_writer: Dict[Tuple[int, int], Operation] = {}
+        self._retained = 0
+        self._fed = 0
+        self._violations: List[str] = []
+        self._finalized: Optional[CheckResult] = None
+        self._metrics = WindowMetrics()
+
+    def feed(
+        self, op: Operation, read_from: Optional[Operation] = None
+    ) -> Optional[CheckResult]:
+        ops = self._ops.setdefault(op.process, [])
+        if ops and op.index <= ops[-1].index:
+            raise ConsistencyCheckError(
+                f"operation {op!r} does not extend h_{op.process} "
+                f"(last retained index {ops[-1].index})"
+            )
+        self._fed += 1
+        ops.append(op)
+        self._retained += 1
+        if op.is_write:
+            self._by_writer[(op.process, op.index)] = op
+            self._frontier[(op.process, op.variable)] = op
+        else:
+            self._read_from[op] = read_from
+            if read_from is not None:
+                self._pins[read_from] = self._pins.get(read_from, 0) + 1
+        self._metrics.ops_fed = self._fed
+        if self._retained > self._metrics.peak_retained:
+            self._metrics.peak_retained = self._retained
+        found = self._monitors.observe(op, read_from)
+        if found:
+            self._violations.extend(f"p{op.process}: {v}" for v in found)
+        if self._retained > self._window:
+            self._evict()
+        self._metrics.retained = self._retained
+        if found:
+            return self._result_so_far()
+        return None
+
+    def check_now(self) -> Optional[CheckResult]:
+        history, read_from = self.window_view()
+        result = self._checker.check(history, read_from=read_from, exact=False)
+        if not result.consistent:
+            for violation in result.violations:
+                if violation not in self._violations:
+                    self._violations.append(violation)
+            return self._result_so_far()
+        return self._result_so_far() if self._violations else None
+
+    def finalize(self) -> CheckResult:
+        if self._finalized is None:
+            history, read_from = self.window_view()
+            result = self._checker.check(history, read_from=read_from, exact=False)
+            if self._violations or not result.consistent:
+                merged = list(self._violations)
+                for violation in result.violations:
+                    if violation not in merged:
+                        merged.append(violation)
+                self._finalized = CheckResult(
+                    criterion=self.criterion,
+                    consistent=False,
+                    exact=True,
+                    violations=merged,
+                )
+            else:
+                # Clean over the window and silent monitors over the whole
+                # stream: a heuristic pass, like the batch pre-check's.
+                self._finalized = CheckResult(
+                    criterion=self.criterion, consistent=True, exact=False
+                )
+        return self._finalized
+
+    @property
+    def ops_fed(self) -> int:
+        return self._fed
+
+    # -- windowed views --------------------------------------------------------
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def metrics(self) -> WindowMetrics:
+        return self._metrics
+
+    @property
+    def retained_operations(self) -> int:
+        return self._retained
+
+    def window_view(self) -> Tuple[History, Dict[Operation, Optional[Operation]]]:
+        """The retained sub-history and its read-from restriction."""
+        return History(self._ops, windowed=True), dict(self._read_from)
+
+    def lookup_write(self, process: int, index: int) -> Optional[Operation]:
+        """The retained write ``(process, index)``, or ``None`` if evicted."""
+        return self._by_writer.get((process, index))
+
+    def resolve_source(
+        self, process: int, variable: str, value: Any, index: int
+    ) -> Operation:
+        """Resolve a ``(process, index)`` source reference to an operation.
+
+        Returns the retained write when it survives in the window; otherwise
+        reconstructs an equivalent stand-in write at its original index and
+        re-inserts it, so the ingestion layer never has to retain anything
+        itself.
+        """
+        op = self._by_writer.get((process, index))
+        if op is not None:
+            return op
+        standin = Operation.write(process, variable, value, index=index)
+        ops = self._ops.setdefault(process, [])
+        indices = [o.index for o in ops]
+        pos = bisect.bisect_left(indices, index)
+        if pos < len(indices) and indices[pos] == index:
+            raise ConsistencyCheckError(
+                f"source reference (p{process}, #{index}) collides with the "
+                f"retained non-write operation {ops[pos]!r}"
+            )
+        ops.insert(pos, standin)
+        self._by_writer[(process, index)] = standin
+        self._retained += 1
+        self._metrics.standins += 1
+        if self._retained > self._metrics.peak_retained:
+            self._metrics.peak_retained = self._retained
+        frontier = self._frontier.get((process, variable))
+        if frontier is None or frontier.index < index:
+            self._frontier[(process, variable)] = standin
+        return standin
+
+    def eviction_report(self) -> Dict[str, Dict[str, Any]]:
+        """Per-variable relevance context behind the eviction proofs.
+
+        The share graph's Theorem 1 report (clique, hoop processes, relevant
+        and irrelevant sets per variable); empty when the checker runs
+        without a distribution, in which case only forced eviction is
+        available.
+        """
+        if self._share is None:
+            return {}
+        return self._share.relevance_report()
+
+    # -- eviction --------------------------------------------------------------
+    def _evict(self) -> None:
+        # Proved pass: drop every write the monitors' reader frontiers prove
+        # dead (Theorem 1 bounds the candidate readers to the clique).
+        for pid in sorted(self._ops):
+            kept: List[Operation] = []
+            for op in self._ops[pid]:
+                if self._provably_dead(op):
+                    self._drop(op, proved=True)
+                else:
+                    kept.append(op)
+            self._ops[pid] = kept
+        if self._retained <= self._window:
+            return
+        # Forced pass: evict the oldest unpinned operations down to the low
+        # watermark.  Evicting a read releases the pin on its source, so a
+        # second sweep may free writes the first could not touch.
+        low = max(self._window // 2, 1)
+        while self._retained > low:
+            evicted = False
+            for pid in sorted(self._ops):
+                if self._retained <= low:
+                    break
+                kept = []
+                for op in self._ops[pid]:
+                    if self._retained > low and self._forced_evictable(op):
+                        self._drop(op, proved=False)
+                        evicted = True
+                    else:
+                        kept.append(op)
+                self._ops[pid] = kept
+            if not evicted:
+                break
+
+    def _provably_dead(self, op: Operation) -> bool:
+        if not op.is_write or self._share is None:
+            return False
+        if self._pins.get(op, 0):
+            return False
+        if self._frontier.get((op.process, op.variable)) is op:
+            return False
+        try:
+            clique = self._share.clique(op.variable)
+        except DistributionError:
+            return False
+        for reader in sorted(clique):
+            if reader == op.process:
+                continue  # the writer observed its own write when it was fed
+            if self._monitors.observed_index(reader, op.variable, op.process) < op.index:
+                return False
+        return True
+
+    def _forced_evictable(self, op: Operation) -> bool:
+        if op.is_read:
+            return True
+        if self._pins.get(op, 0):
+            return False
+        return self._frontier.get((op.process, op.variable)) is not op
+
+    def _drop(self, op: Operation, proved: bool) -> None:
+        self._retained -= 1
+        if proved:
+            self._metrics.evicted_proved += 1
+        else:
+            self._metrics.evicted_forced += 1
+        if op.is_write:
+            self._by_writer.pop((op.process, op.index), None)
+        else:
+            source = self._read_from.pop(op, None)
+            if source is not None:
+                pins = self._pins.get(source, 0) - 1
+                if pins <= 0:
+                    self._pins.pop(source, None)
+                else:
+                    self._pins[source] = pins
+
+    def _result_so_far(self) -> CheckResult:
+        return CheckResult(
+            criterion=self.criterion,
+            consistent=False,
+            exact=True,
+            violations=list(self._violations),
+        )
+
+    # -- checkpointing ---------------------------------------------------------
+    def checkpoint(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the full checker state (see :meth:`restore`)."""
+        operations = []
+        read_from = []
+        for pid in sorted(self._ops):
+            for op in self._ops[pid]:
+                operations.append({
+                    "kind": op.kind.value,
+                    "process": op.process,
+                    "variable": op.variable,
+                    "value": encode_value(op.value),
+                    "index": op.index,
+                    "invoked_at": op.invoked_at,
+                    "completed_at": op.completed_at,
+                })
+                if op.is_read and op in self._read_from:
+                    source = self._read_from[op]
+                    read_from.append([
+                        [op.process, op.index],
+                        None if source is None else [source.process, source.index],
+                    ])
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "criterion": self.criterion,
+            "window": self._window,
+            "real_time": self._real_time,
+            "fed": self._fed,
+            "universe": sorted(self._ops),
+            "violations": list(self._violations),
+            "metrics": self._metrics.as_dict(),
+            "operations": operations,
+            "read_from": read_from,
+            "monitors": self._monitors.export_state(),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        data: Dict[str, Any],
+        distribution: Optional["VariableDistribution"] = None,
+    ) -> "WindowedChecker":
+        """Rebuild a checker from a :meth:`checkpoint` payload.
+
+        The restored checker continues exactly where the snapshot left off:
+        same retained window, pins, monitor frontiers, metrics and verdict
+        state.  Operations get fresh ``uid``\\ s — identity only has to be
+        consistent *within* one checker.
+        """
+        from .registry import all_checkers  # local import: registry imports base too
+
+        if data.get("format") != CHECKPOINT_FORMAT:
+            raise ConsistencyCheckError(
+                f"not a windowed-checker checkpoint: format={data.get('format')!r}"
+            )
+        criterion = data["criterion"]
+        checkers = all_checkers()
+        if criterion not in checkers:
+            raise UnknownCriterionError(
+                f"checkpoint names unknown criterion {criterion!r}; "
+                f"known: {sorted(checkers)}"
+            )
+        checker = cls(
+            checkers[criterion],
+            window=int(data["window"]),
+            distribution=distribution,
+            real_time=bool(data.get("real_time", False)),
+        )
+        checker.start(tuple(data.get("universe", ())))
+        by_ref: Dict[Tuple[int, int], Operation] = {}
+        for record in data.get("operations", ()):
+            op = Operation(
+                OpKind(record["kind"]),
+                record["process"],
+                record["variable"],
+                decode_value(record["value"]),
+                record["index"],
+                invoked_at=record.get("invoked_at"),
+                completed_at=record.get("completed_at"),
+            )
+            by_ref[(op.process, op.index)] = op
+            checker._ops.setdefault(op.process, []).append(op)
+            checker._retained += 1
+            if op.is_write:
+                checker._by_writer[(op.process, op.index)] = op
+                checker._frontier[(op.process, op.variable)] = op
+        for read_ref, source_ref in data.get("read_from", ()):
+            read = by_ref.get(tuple(read_ref))
+            if read is None or not read.is_read:
+                raise ConsistencyCheckError(
+                    f"checkpoint read-from references unknown read {read_ref!r}"
+                )
+            source = None
+            if source_ref is not None:
+                source = by_ref.get(tuple(source_ref))
+                if source is None:
+                    raise ConsistencyCheckError(
+                        f"checkpoint read-from references evicted source {source_ref!r}"
+                    )
+                checker._pins[source] = checker._pins.get(source, 0) + 1
+            checker._read_from[read] = source
+        checker._fed = int(data.get("fed", 0))
+        checker._violations = list(data.get("violations", ()))
+        metrics = dict(data.get("metrics", ()))
+        checker._metrics = WindowMetrics(
+            ops_fed=int(metrics.get("ops_fed", checker._fed)),
+            retained=checker._retained,
+            peak_retained=int(metrics.get("peak_retained", checker._retained)),
+            evicted_proved=int(metrics.get("evicted_proved", 0)),
+            evicted_forced=int(metrics.get("evicted_forced", 0)),
+            standins=int(metrics.get("standins", 0)),
+        )
+        checker._monitors.load_state(
+            data.get("monitors", {}),
+            resolve=lambda process, index: checker._by_writer.get((process, index)),
+        )
+        return checker
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<WindowedChecker criterion={self.criterion!r} "
+            f"window={self._window} retained={self._retained} fed={self._fed}>"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Factory
 # ---------------------------------------------------------------------------
+
+def windowed_checker(
+    criterion: str,
+    window: int = 512,
+    distribution: Optional["VariableDistribution"] = None,
+) -> WindowedChecker:
+    """Build a bounded-memory :class:`WindowedChecker` for ``criterion``.
+
+    ``distribution`` enables the Theorem 1 eviction proofs (without it only
+    forced eviction is available — still sound, never proved).
+    """
+    from .registry import all_checkers  # local import: registry imports base too
+
+    checkers = all_checkers()
+    if criterion not in checkers:
+        raise UnknownCriterionError(
+            f"unknown consistency criterion {criterion!r}; known: {sorted(checkers)}"
+        )
+    return WindowedChecker(
+        checkers[criterion],
+        window=window,
+        distribution=distribution,
+        real_time=criterion == "atomic",
+    )
+
 
 def incremental_checker(
     criterion: str,

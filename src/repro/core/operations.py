@@ -155,6 +155,26 @@ class Operation:
         return f"<{self.label()} #{self.uid}>"
 
 
+def encode_value(value: Any) -> Any:
+    """JSON-encode a shared-memory value (``BOTTOM`` -> ``{"$bottom": true}``).
+
+    The sentinel encoding cannot collide with a real value: history values
+    must be hashable (:func:`value_key`) and a dict is not.  Shared by the
+    JSONL trace format (:mod:`repro.serve.trace`) and the windowed-checker
+    checkpoints (:mod:`repro.core.consistency.incremental`).
+    """
+    if value is BOTTOM:
+        return {"$bottom": True}
+    return value
+
+
+def decode_value(data: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(data, dict) and data.get("$bottom") is True:
+        return BOTTOM
+    return data
+
+
 def value_key(value: Any) -> Hashable:
     """Return a hashable key for a written/read value.
 

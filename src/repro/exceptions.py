@@ -179,3 +179,15 @@ class SessionError(ReproError):
 
 class RecorderStateError(ReproError):
     """A :class:`repro.mcs.recorder.HistoryRecorder` was asked for state it does not keep."""
+
+
+class ServeError(ReproError):
+    """Base class of every failure of the online monitoring service."""
+
+
+class TraceFormatError(ServeError):
+    """A JSONL trace record or wire-protocol line is malformed."""
+
+
+class TenantError(ServeError):
+    """A tenant declared an invalid configuration or broke the wire protocol."""

@@ -46,6 +46,14 @@ ALLOWLIST: Tuple[Tuple[str, str, str], ...] = (
         "search's own elapsed_s for the report; it never reaches a "
         "simulated run, a seed or a stored artifact",
     ),
+    (
+        "src/repro/serve/service.py",
+        "RPR103",
+        "online-service operational metrics: time.monotonic() feeds the "
+        "ingest-lag, queue-wait and uptime figures of the status stream "
+        "only; monitors, verdicts and everything replayable live in "
+        "repro.serve.monitor, which takes no clock at all",
+    ),
 )
 
 

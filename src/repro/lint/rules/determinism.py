@@ -14,8 +14,11 @@ on it).  These rules reject the constructs that silently break that promise:
 * **RPR103** — wall-clock and entropy sources (``time.time``,
   ``time.perf_counter``, ``datetime.now``, ``os.urandom``, ``uuid.uuid4``,
   ...) inside the simulation packages ``repro.{core,mcs,netsim,dsm,hunt,
-  workloads}``, where simulated time is the only clock.  Measurement code
-  (``analysis``, ``benchmarks``) may time things; the simulator may not.
+  serve,workloads}``, where simulated time is the only clock.  Measurement
+  code (``analysis``, ``benchmarks``) may time things; the simulator may
+  not.  (``repro.serve`` monitors *replayed* traces, so its verdict path is
+  held to the same standard; the one allowlisted exception is the service
+  loop's lag/uptime metrics — see the lint allowlist.)
 * **RPR104** — iteration over expressions that are unordered by
   construction (set literals/comprehensions, ``set()``/``frozenset()``
   calls, set-algebra results) inside the same simulation packages.  Static
@@ -35,7 +38,7 @@ from ._names import canonical_call_target, import_aliases
 #: The packages whose code runs *inside* the simulation — simulated time and
 #: seeded randomness only (rules RPR103/RPR104).
 SIMULATION_PACKAGES = frozenset(
-    {"core", "mcs", "netsim", "dsm", "hunt", "workloads"}
+    {"core", "mcs", "netsim", "dsm", "hunt", "serve", "workloads"}
 )
 
 #: Wall-clock / entropy call targets forbidden inside the simulation.
@@ -220,12 +223,12 @@ RULES = (
         code="RPR103",
         summary="no wall-clock or OS entropy inside the simulation packages",
         check=check_wall_clock,
-        scope="repro.{core,mcs,netsim,dsm,hunt,workloads}",
+        scope="repro.{core,mcs,netsim,dsm,hunt,serve,workloads}",
     ),
     Rule(
         code="RPR104",
         summary="no iteration over unordered set expressions in the simulation",
         check=check_unordered_iteration,
-        scope="repro.{core,mcs,netsim,dsm,hunt,workloads}",
+        scope="repro.{core,mcs,netsim,dsm,hunt,serve,workloads}",
     ),
 )

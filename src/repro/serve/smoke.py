@@ -1,0 +1,134 @@
+"""End-to-end smoke of the online service (``repro serve smoke``).
+
+Two tenants over one real TCP socket: a fault-injected partition scenario
+that provably violates causality, and a clean hoop-sharing scenario that
+does not.  Both traces are exported by a genuine :class:`~repro.api.Session`
+run (``trace_out``), streamed concurrently through
+:class:`~repro.serve.service.MonitorService`, and the smoke asserts
+
+* the violating tenant's verdict is ``consistent=False`` with ``exact=True``
+  (a proven violation, not a heuristic) and at least one violation string,
+* the clean tenant's verdict is ``consistent=True`` — undisturbed by the
+  violating neighbour,
+* the service shuts down cleanly and reports both tenants in its final
+  snapshot.
+
+``make serve-smoke`` (and the CI job) run exactly this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+from typing import Any, Dict, List, Tuple
+
+from ..exceptions import ServeError
+from .service import MonitorService, stream_trace
+from .spec import ServeSpec
+from .trace import read_trace
+
+#: The experiment points backing the two tenants (see repro.experiments).
+VIOLATING_SUITE = "faults-partition-hoop"
+CLEAN_SUITE = "figure2-hoop"
+
+
+def _export_scenario(suite: str, path: str) -> None:
+    """Run one registered experiment point and export its trace."""
+    # Local imports: the serve package must not pull the whole simulator in
+    # at import time — only the smoke actually runs scenarios.
+    from ..api import Session
+    from ..experiments.suites import REGISTRY
+
+    point = REGISTRY.get(suite).expand()[0]
+    session = Session.from_spec(
+        point.spec, trace_out=path, trace_scenario=point.label()
+    )
+    session.run()
+
+
+async def _run_service(
+    bad_path: str, good_path: str, statuses: List[Dict[str, Any]]
+) -> Tuple[Dict[str, Any], Dict[str, Any], List[Dict[str, Any]]]:
+    """Start the service, stream both tenants concurrently, shut down."""
+    bad_meta, bad_records = read_trace(bad_path)
+    good_meta, good_records = read_trace(good_path)
+    service = MonitorService(
+        ServeSpec(status_interval=0), on_status=statuses.append
+    )
+    port = await service.start()
+    try:
+        bad, good = await asyncio.gather(
+            stream_trace(
+                "127.0.0.1", port, "violating", bad_meta, bad_records,
+                criterion="causal", policy="fail_fast", window=32,
+            ),
+            stream_trace(
+                "127.0.0.1", port, "clean", good_meta, good_records,
+                criterion="causal", policy="fail_fast", window=32,
+            ),
+        )
+    finally:
+        verdicts = await service.stop()
+    return bad, good, verdicts
+
+
+def run_smoke(out: Any = None) -> int:
+    """Run the smoke; returns a process exit code (0 = pass).
+
+    ``out`` is a ``print``-compatible callable for the progress lines
+    (defaults to :func:`print`).
+    """
+    emit = out if out is not None else print
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        bad_path = os.path.join(tmp, "violating.jsonl")
+        good_path = os.path.join(tmp, "clean.jsonl")
+        emit(f"serve-smoke: exporting {VIOLATING_SUITE!r} -> {bad_path}")
+        _export_scenario(VIOLATING_SUITE, bad_path)
+        emit(f"serve-smoke: exporting {CLEAN_SUITE!r} -> {good_path}")
+        _export_scenario(CLEAN_SUITE, good_path)
+
+        statuses: List[Dict[str, Any]] = []
+        emit("serve-smoke: streaming both tenants over one socket")
+        bad, good, verdicts = asyncio.run(
+            _run_service(bad_path, good_path, statuses)
+        )
+
+    failures: List[str] = []
+    if bad["consistent"] is not False:
+        failures.append(f"violating tenant not flagged: {bad}")
+    elif bad["exact"] is not True:
+        failures.append(f"violating verdict is not exact: {bad}")
+    elif not bad["violations"]:
+        failures.append(f"violating verdict carries no violation: {bad}")
+    if good["consistent"] is not True:
+        failures.append(f"clean tenant disturbed: {good}")
+    if len(verdicts) != 2:
+        failures.append(f"expected 2 shutdown verdicts, got {len(verdicts)}")
+    if not statuses or statuses[-1].get("type") != "shutdown":
+        failures.append("service emitted no final shutdown snapshot")
+
+    emit(
+        "serve-smoke: violating tenant -> consistent=%s exact=%s "
+        "(%d violation(s), %d ops)" % (
+            bad["consistent"], bad["exact"], len(bad["violations"]), bad["ops"],
+        )
+    )
+    emit(
+        "serve-smoke: clean tenant     -> consistent=%s (%d ops)"
+        % (good["consistent"], good["ops"])
+    )
+    if failures:
+        for failure in failures:
+            emit(f"serve-smoke: FAIL {failure}")
+        return 1
+    emit("serve-smoke: PASS (2 tenants, clean shutdown)")
+    return 0
+
+
+def main() -> int:  # pragma: no cover - exercised via the CLI
+    try:
+        return run_smoke()
+    except ServeError as exc:
+        print(f"serve-smoke: FAIL {exc}")
+        return 1

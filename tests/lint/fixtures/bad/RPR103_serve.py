@@ -1,0 +1,14 @@
+"""Planted at ``src/repro/serve/<name>.py`` by the harness.
+
+The serve package monitors *replayed* operation streams, so its verdict
+path is part of the simulation for determinism purposes: a wall-clock read
+here (outside the allowlisted ``service.py`` metrics loop) breaks the
+one-trace-one-verdict promise and must fire RPR103.
+"""
+
+import time
+
+
+def stamp_verdict(verdict):
+    verdict["decided_at"] = time.monotonic()
+    return verdict

@@ -1,0 +1,10 @@
+"""Deterministic twin of the bad serve fixture: no clock anywhere.
+
+Progress is expressed in replayable units (operations fed), so re-running
+the same trace stamps the same verdict bit for bit.
+"""
+
+
+def stamp_verdict(verdict, ops_fed):
+    verdict["decided_after_ops"] = ops_fed
+    return verdict

@@ -137,6 +137,42 @@ def test_syntax_error_is_reported_not_crashed(tmp_path):
     assert [d.code for d in diagnostics] == ["RPR001"]
 
 
+def _plant_serve_fixture(tmp_path, kind, relative):
+    target = tmp_path / relative
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(os.path.join(FIXTURES, kind, "RPR103_serve.py"), target)
+    return target
+
+
+def test_serve_package_is_wall_clock_scoped(tmp_path):
+    """repro.serve joined the simulation packages: RPR103 fires there."""
+    _plant_serve_fixture(tmp_path, "bad", "src/repro/serve/snippet.py")
+    diagnostics = lint_paths([str(tmp_path)])
+    assert {d.code for d in diagnostics} == {"RPR103"}
+
+
+def test_serve_good_fixture_stays_quiet(tmp_path):
+    _plant_serve_fixture(tmp_path, "good", "src/repro/serve/snippet.py")
+    assert lint_paths([str(tmp_path)]) == []
+
+
+def test_serve_service_allowlist_shields_only_service_py(tmp_path, monkeypatch):
+    """The allowlist entry covers exactly src/repro/serve/service.py.
+
+    The same wall-clock read is shielded there (the sanctioned lag/uptime
+    metrics home) but fires one directory entry over — the entry cannot
+    silently grow into a package-wide exemption.
+    """
+    _plant_serve_fixture(tmp_path, "bad", "src/repro/serve/service.py")
+    _plant_serve_fixture(tmp_path, "bad", "src/repro/serve/monitor.py")
+    monkeypatch.chdir(tmp_path)
+    diagnostics = lint_paths(["src"])
+    assert [d.code for d in diagnostics] == ["RPR103"]
+    assert diagnostics[0].path.replace(os.sep, "/").endswith(
+        "src/repro/serve/monitor.py"
+    )
+
+
 def test_run_lint_accepts_prebuilt_contexts(tmp_path):
     """The engine API the fixture tests rely on: explicit contexts."""
     target = tmp_path / "src/repro/mcs/snippet.py"

@@ -1,0 +1,240 @@
+"""Bounded-memory windowed checking: equivalence with the batch oracle.
+
+The ISSUE's acceptance battery:
+
+* a >= 50k-op synthetic stream monitored with peak retained operations
+  bounded by the eviction window (orders of magnitude below the stream
+  length), with Theorem-1-proved evictions doing the bulk of the work;
+* windowed verdicts equal the batch oracle's on violating and clean
+  streams, with real simulator exports (paper / stress / faults scenarios)
+  as the trace sources;
+* on violating streams the verdict is equal on the first violating prefix,
+  not only at the end;
+* checkpoint / restore round-trips the whole monitor state mid-stream.
+"""
+
+import json
+
+import pytest
+
+from repro.core.consistency import get_checker
+from repro.core.consistency.incremental import WindowedChecker
+from repro.serve.monitor import TenantMonitor, VIOLATED
+from repro.serve.replay import materialise, replay_trace, replay_windowed
+from repro.serve.spec import TenantSpec
+from repro.serve.trace import TraceMeta, TraceRecord, read_trace
+
+#: (experiment scenario, point index, expected batch verdict) — the trace
+#: sources of the equivalence property, one per suite the ISSUE names.
+SCENARIO_SOURCES = [
+    ("figure2-hoop", 0, True),            # paper, clean
+    ("figure2-hoop", 3, True),            # paper, causal_partial point
+    ("stress-long-hoop", 0, True),        # stress, clean
+    ("faults-partition-hoop", 0, False),  # faults, proven violation
+]
+
+
+def _export(tmp_path, scenario, point_index):
+    from repro.api import Session
+    from repro.experiments.suites import REGISTRY
+
+    point = REGISTRY.get(scenario).expand()[point_index]
+    path = str(tmp_path / f"{scenario}-{point_index}.jsonl")
+    Session.from_spec(point.spec, trace_out=path,
+                      trace_scenario=point.label()).run()
+    return path
+
+
+def _synthetic_meta():
+    return TraceMeta(scenario="synthetic-single-writer",
+                     distribution={"x": [0, 1, 2, 3]})
+
+
+def _synthetic_stream(rounds):
+    """One writer, three readers, fully causal: 4 ops per round."""
+    records = []
+    for r in range(rounds):
+        records.append(TraceRecord(kind="write", process=0, variable="x",
+                                   value=r, index=r))
+        for reader in (1, 2, 3):
+            records.append(TraceRecord(kind="read", process=reader,
+                                       variable="x", value=r, index=r,
+                                       source=(0, r)))
+    return records
+
+
+class TestBoundedMemory:
+    def test_50k_stream_peak_bounded_by_window(self):
+        window = 64
+        rounds = 12_500  # 4 ops per round = 50_000 operations
+        monitor = TenantMonitor(
+            TenantSpec(name="bulk", policy="finalize", window=window),
+            meta=_synthetic_meta(),
+        )
+        for record in _synthetic_stream(rounds):
+            monitor.ingest(record)
+        result = monitor.finalize()
+        metrics = monitor.metrics
+        assert result.consistent is True
+        assert metrics.ops_fed == 4 * rounds
+        # the bound: window + one frontier write per (process, variable)
+        # + a round of slack; orders of magnitude under the stream length
+        assert metrics.peak_retained <= window + 4 + 8
+        assert metrics.peak_retained * 100 < metrics.ops_fed
+        # Theorem 1 proves essentially every write dead (each holder of x
+        # observes it one round later); only reads ride the forced path
+        assert metrics.evicted_proved >= rounds - window - 4
+
+    def test_violation_after_eviction_is_still_proven(self):
+        """A stale read of a long-evicted write is caught exactly (monitors
+        never forget writer indices, only the window forgets operations)."""
+        window = 64
+        rounds = 2_000
+        monitor = TenantMonitor(
+            TenantSpec(name="stale", policy="finalize", window=window),
+            meta=_synthetic_meta(),
+        )
+        for record in _synthetic_stream(rounds):
+            monitor.ingest(record)
+        stale = TraceRecord(kind="read", process=1, variable="x", value=100,
+                            index=rounds, source=(0, 100))
+        found = monitor.ingest(stale)
+        assert found is not None and not found.consistent
+        assert monitor.state == VIOLATED
+        result = monitor.finalize()
+        assert result.consistent is False
+        assert result.exact is True
+        assert monitor.metrics.peak_retained <= window + 4 + 8
+
+    def test_window_floor_is_enforced(self):
+        from repro.exceptions import ConsistencyCheckError
+
+        with pytest.raises(ConsistencyCheckError):
+            WindowedChecker(get_checker("causal"), window=2)
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("scenario,point,expect_consistent",
+                             SCENARIO_SOURCES)
+    @pytest.mark.parametrize("window", [16, 64])
+    def test_windowed_matches_batch(self, tmp_path, scenario, point,
+                                    expect_consistent, window):
+        path = _export(tmp_path, scenario, point)
+        batch = replay_trace(path)
+        assert batch.consistent is expect_consistent
+        criterion = batch.criteria[0]
+        result, metrics = replay_windowed(path, criterion=criterion,
+                                          window=window)
+        assert result.consistent is expect_consistent
+        if not expect_consistent:
+            # a windowed violation is a proof, never a heuristic
+            assert result.exact is True
+            assert result.violations
+        assert metrics.peak_retained <= metrics.ops_fed
+
+    def test_violating_prefix_matches_batch(self, tmp_path):
+        """Checked every op, the monitor fires on exactly the first prefix
+        the batch oracle rejects — same ops, same polynomial machinery."""
+        path = _export(tmp_path, "faults-partition-hoop", 0)
+        meta, records = read_trace(path)
+        criterion = meta.criteria[0]
+        monitor = TenantMonitor(
+            TenantSpec(name="prefix", criterion=criterion,
+                       policy="every_op", window=16),
+            meta=meta,
+        )
+        fired_at = None
+        for position, record in enumerate(records):
+            if monitor.ingest(record) is not None:
+                fired_at = position
+                break
+        assert fired_at is not None, "windowed monitor never fired"
+
+        def batch_consistent(prefix, exact):
+            history, read_from = materialise(meta, prefix)
+            return get_checker(criterion).check(
+                history, read_from=read_from, exact=exact).consistent
+
+        earliest = next(
+            position for position in range(len(records))
+            if not batch_consistent(records[:position + 1], exact=False)
+        )
+        assert fired_at == earliest
+        # and the exact oracle confirms the verdict on that prefix
+        assert batch_consistent(records[:fired_at + 1], exact=True) is False
+
+    def test_clean_windowed_verdict_is_heuristic_only(self, tmp_path):
+        path = _export(tmp_path, "figure2-hoop", 0)
+        result, _ = replay_windowed(path, window=8)
+        assert result.consistent is True
+        assert result.exact is False  # eviction forfeits the clean proof
+
+    def test_undersized_window_degrades_honestly(self, tmp_path):
+        """A window smaller than the violating pattern's span may miss the
+        violation — but then it must say so (``exact=False``), never claim
+        a proof of consistency."""
+        path = _export(tmp_path, "faults-partition-hoop", 0)
+        criterion = read_trace(path)[0].criteria[0]
+        result, metrics = replay_windowed(path, criterion=criterion, window=8)
+        if result.consistent:
+            assert result.exact is False
+            assert metrics.evicted_forced > 0  # evidence left by force
+        else:
+            assert result.exact is True
+
+
+class TestCheckpointRestore:
+    def test_mid_stream_checkpoint_round_trips(self):
+        window = 32
+        records = _synthetic_stream(500)  # 2000 ops
+        cut = len(records) // 2
+        meta = _synthetic_meta()
+
+        straight = TenantMonitor(
+            TenantSpec(name="straight", policy="finalize", window=window),
+            meta=meta)
+        for record in records:
+            straight.ingest(record)
+        expected = straight.finalize()
+
+        first = TenantMonitor(
+            TenantSpec(name="first", policy="finalize", window=window),
+            meta=meta)
+        for record in records[:cut]:
+            first.ingest(record)
+        snapshot = json.loads(json.dumps(first.checkpoint()))
+
+        resumed = WindowedChecker.restore(
+            snapshot, distribution=meta.variable_distribution())
+        for record in records[cut:]:
+            source = None
+            if record.source is not None:
+                source = resumed.resolve_source(
+                    record.source[0], record.variable, record.value,
+                    record.source[1])
+            resumed.feed(record.to_operation(), read_from=source)
+        result = resumed.finalize()
+
+        assert result.consistent is expected.consistent is True
+        assert resumed.ops_fed == straight.ops_ingested
+        assert resumed.metrics.retained == straight.metrics.retained
+
+    def test_restored_monitor_still_proves_violations(self):
+        window = 32
+        records = _synthetic_stream(250)
+        meta = _synthetic_meta()
+        monitor = TenantMonitor(
+            TenantSpec(name="resume", policy="finalize", window=window),
+            meta=meta)
+        for record in records:
+            monitor.ingest(record)
+        snapshot = json.loads(json.dumps(monitor.checkpoint()))
+        resumed = WindowedChecker.restore(
+            snapshot, distribution=meta.variable_distribution())
+        stale = resumed.resolve_source(0, "x", 3, 3)
+        found = resumed.feed(
+            TraceRecord(kind="read", process=1, variable="x", value=3,
+                        index=250, source=(0, 3)).to_operation(),
+            read_from=stale)
+        assert found is not None and found.consistent is False
+        assert resumed.finalize().exact is True

@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-checkers bench-checkers-baseline bench-streaming bench-apps bench-apps-baseline experiments experiments-smoke faults apps hunt-smoke serve-smoke clean-cache
+.PHONY: test lint bench bench-checkers bench-checkers-baseline bench-streaming bench-apps bench-apps-baseline bench-efficiency bench-efficiency-baseline experiments experiments-smoke faults apps hunt-smoke serve-smoke place-smoke clean-cache
 
 # Tier-1 verification (the command ROADMAP.md records).
 test:
@@ -63,6 +63,21 @@ bench-apps:
 bench-apps-baseline:
 	$(PYTHON) benchmarks/check_regression.py --update-apps
 
+# Efficiency gate: the replica-placement headline of Section 3.3 at 100
+# processes — optimize a placement with repro.place, replay the same
+# Zipf-skewed script through causal_tree on it and causal_full on full
+# replication; both must stay consistent and the optimized placement must
+# move strictly fewer control bytes per message.  Seeded counts are compared
+# exactly against benchmarks/efficiency_baseline.json and the optimizer
+# wall-clock is calibration-normalised (>2x regression fails).
+bench-efficiency:
+	$(PYTHON) -m pytest benchmarks/test_bench_efficiency.py --benchmark-only -q
+	$(PYTHON) benchmarks/check_regression.py --efficiency
+
+# Re-measure and commit a new efficiency baseline (after a deliberate change).
+bench-efficiency-baseline:
+	$(PYTHON) benchmarks/check_regression.py --update-efficiency
+
 # One-scenario end-to-end check of the experiment orchestrator.
 experiments-smoke:
 	$(PYTHON) -m repro experiments run --scenario figure2-hoop --no-cache
@@ -85,6 +100,17 @@ faults:
 hunt-smoke:
 	$(PYTHON) -m repro hunt smoke --budget 25 --seed 0
 	$(PYTHON) -m repro experiments run --suite hunted --no-cache
+
+# Place smoke: a fast end-to-end pass of the placement optimizer — exact
+# search on a paper-sized profile, report JSON round-trip, and one measured
+# run of the optimized placement through a sharded protocol (exit 1 on any
+# inconsistency; the scale-100 comparison lives in bench-efficiency).
+place-smoke:
+	$(PYTHON) -m repro place optimize --processes 8 --variables 6 \
+		--accessors 2 --profile-seed 2 --measure sequencer_shard \
+		--out .repro-place-smoke.json
+	$(PYTHON) -m repro place report .repro-place-smoke.json
+	rm -f .repro-place-smoke.json
 
 # Serve gate: export one violating and one clean scenario as repro-trace-v1
 # streams, run both through the online monitoring service as concurrent

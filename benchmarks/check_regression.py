@@ -19,6 +19,16 @@ history, and the run fails unless the incremental path processed at least
 ``STREAM_RATIO_FLOOR`` times fewer operations.  The measured timings and the
 ops ratio live in the same baseline JSON.
 
+The efficiency gate (``--efficiency`` / ``make bench-efficiency``) is the
+replica-placement headline of Section 3.3 at scale: it optimizes a placement
+for a 100-process seeded access profile with ``repro.place``, replays the
+same Zipf-skewed script through ``causal_tree`` on that placement and through
+``causal_full`` on full replication, and fails unless both runs stay
+consistent AND the optimized placement moves strictly fewer control bytes
+per message.  Message/byte counts are seeded and compared exactly against
+``efficiency_baseline.json`` (structural drift detection); the optimizer
+wall-clock is calibration-normalised like every other timing.
+
 The application gate (``--apps`` / ``make bench-apps``) measures the
 spec-driven Bellman-Ford session (the ``Session(app=...)`` path redesigned
 over the DSM runtime) and normalises its wall-clock *per delivered message*
@@ -33,10 +43,13 @@ Usage::
     python benchmarks/check_regression.py --update   # re-measure and commit a
                                                      # new baseline JSON
     python benchmarks/check_regression.py --update-apps  # new apps baseline
+    python benchmarks/check_regression.py --efficiency   # placement gate only
+    python benchmarks/check_regression.py --update-efficiency
 
 Run via ``make bench-checkers`` / ``make bench-streaming`` /
-``make bench-apps`` / ``make bench-checkers-baseline`` /
-``make bench-apps-baseline``.
+``make bench-apps`` / ``make bench-efficiency`` /
+``make bench-checkers-baseline`` / ``make bench-apps-baseline`` /
+``make bench-efficiency-baseline``.
 """
 
 import argparse
@@ -50,6 +63,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 BASELINE_PATH = Path(__file__).with_name("checkers_baseline.json")
 APPS_BASELINE_PATH = Path(__file__).with_name("apps_baseline.json")
+EFFICIENCY_BASELINE_PATH = Path(__file__).with_name("efficiency_baseline.json")
 TOLERANCE = 2.0
 #: Timings under this many milliseconds are timer-granularity/warm-up noise
 #: that does not cancel against the ~10 ms calibration loop; they are
@@ -257,6 +271,134 @@ def check_apps(measured: dict) -> int:
     return 0
 
 
+#: Efficiency-gate scale: the issue's ">= 100 processes" comparison point.
+EFFICIENCY_PROCESSES = 100
+EFFICIENCY_VARIABLES = 60
+EFFICIENCY_OPTIMIZE_REPEATS = 3
+
+
+def measure_efficiency() -> dict:
+    """The replica-placement headline: optimized partial vs full replication.
+
+    Builds a seeded synthetic access profile at ``EFFICIENCY_PROCESSES``
+    processes, optimizes its placement with ``repro.place``, and replays the
+    *same* Zipf-skewed script (generated against the accessor-minimal
+    distribution, so it is valid on every placement) through ``causal_tree``
+    on the optimized placement and through ``causal_full`` on full
+    replication.  Both runs must stay consistent; the optimized placement
+    must move strictly fewer control bytes per message.  Message and byte
+    counts are fully seeded, so they double as a structural-drift check
+    against the baseline; the optimizer wall-clock is the timing-gated part.
+    """
+    from repro.api import Session
+    from repro.core.distribution import VariableDistribution
+    from repro.place import optimize_placement, synthetic_profile
+    from repro.workloads.access_patterns import zipfian_access_script
+
+    profile = synthetic_profile(
+        EFFICIENCY_PROCESSES, EFFICIENCY_VARIABLES,
+        accessors_per_variable=3, seed=7,
+    )
+    samples, calibration = [], []
+    result = None
+    for _ in range(EFFICIENCY_OPTIMIZE_REPEATS):
+        calibration.append(_calibration_sample())
+        started = time.perf_counter()
+        result = optimize_placement(profile, "control", seed=3, budget=25)
+        samples.append(time.perf_counter() - started)
+    if result.cost > result.minimal_cost:
+        raise SystemExit(
+            "placement optimizer made the placement worse; fix repro.place "
+            "before re-baselining"
+        )
+    minimal = profile.minimal_distribution()
+    script = zipfian_access_script(minimal, operations_per_process=2,
+                                   write_fraction=0.5, skew=1.0, seed=5)
+    placed = Session("causal_tree", result.distribution, script,
+                     seed=5, exact=False).run()
+    full_dist = VariableDistribution.full_replication(
+        range(EFFICIENCY_PROCESSES),
+        [f"x{i}" for i in range(EFFICIENCY_VARIABLES)],
+    )
+    full = Session("causal_full", full_dist, script, seed=5, exact=False).run()
+    for name, report in (("optimized/causal_tree", placed),
+                         ("full/causal_full", full)):
+        if report.outcome() != "pass":
+            raise SystemExit(
+                f"efficiency benchmark run {name} no longer passes "
+                f"({report.outcome()}); fix the protocol before re-baselining"
+            )
+    return {
+        "calibration_ms": round(statistics.median(calibration) * 1e3, 3),
+        "efficiency_optimize_ms": round(statistics.median(samples) * 1e3, 1),
+        "efficiency_optimize_evaluations": result.evaluations,
+        "efficiency_placed_messages": placed.efficiency.messages_sent,
+        "efficiency_placed_ctrl_B_per_msg": round(
+            placed.efficiency.control_bytes_per_message, 2),
+        "efficiency_full_messages": full.efficiency.messages_sent,
+        "efficiency_full_ctrl_B_per_msg": round(
+            full.efficiency.control_bytes_per_message, 2),
+    }
+
+
+def check_efficiency(measured: dict) -> int:
+    """Compare the efficiency measurement against its committed baseline."""
+    for key, value in sorted(measured.items()):
+        print(f"{key}: {value}")
+    failures = []
+    placed_ctrl = measured["efficiency_placed_ctrl_B_per_msg"]
+    full_ctrl = measured["efficiency_full_ctrl_B_per_msg"]
+    # The headline invariant gates unconditionally (no baseline needed):
+    # the paper's efficiency claim is that partial replication needs less
+    # control information per message, strictly.
+    if placed_ctrl >= full_ctrl:
+        failures.append(
+            f"optimized partial placement moved {placed_ctrl} control "
+            f"B/msg, not strictly less than full replication's {full_ctrl}"
+        )
+    if not EFFICIENCY_BASELINE_PATH.exists():
+        print(f"no baseline at {EFFICIENCY_BASELINE_PATH}; run with "
+              "--update-efficiency first", file=sys.stderr)
+        return 2
+    baseline = json.loads(EFFICIENCY_BASELINE_PATH.read_text())
+    reference_cal = baseline.get("calibration_ms") or 1.0
+    current_cal = measured["calibration_ms"]
+    for key in ("efficiency_placed_messages", "efficiency_full_messages",
+                "efficiency_placed_ctrl_B_per_msg",
+                "efficiency_full_ctrl_B_per_msg",
+                "efficiency_optimize_evaluations"):
+        if measured.get(key) != baseline.get(key):
+            failures.append(
+                f"{key} changed ({baseline.get(key)} -> {measured.get(key)}); "
+                "the seeded workload or the optimizer drifted — refresh the "
+                "baseline deliberately (--update-efficiency)"
+            )
+    reference = baseline.get("efficiency_optimize_ms")
+    current = measured["efficiency_optimize_ms"]
+    if not reference:
+        failures.append("baseline misses efficiency_optimize_ms")
+    else:
+        ratio = (current / current_cal) / (reference / reference_cal)
+        status = "ok" if ratio <= TOLERANCE else "REGRESSION"
+        print(f"efficiency_optimize_ms: {current} ms vs baseline {reference} "
+              f"ms ({ratio:.2f}x normalised) {status}")
+        if ratio > TOLERANCE:
+            failures.append(
+                f"efficiency_optimize_ms: {ratio:.2f}x slower than baseline "
+                f"(limit {TOLERANCE}x)"
+            )
+    if failures:
+        print("\nefficiency benchmark gate failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"optimized partial placement: {placed_ctrl} control B/msg vs "
+          f"{full_ctrl} under full replication "
+          f"({full_ctrl / max(placed_ctrl, 1e-9):.1f}x cheaper), "
+          "within tolerance of the committed baseline")
+    return 0
+
+
 def _calibration_sample() -> float:
     """One timing of a fixed pure-Python loop, in seconds.
 
@@ -327,7 +469,26 @@ def main(argv=None) -> int:
                              "ms/delivered-message) gate")
     parser.add_argument("--update-apps", action="store_true",
                         help="re-measure and rewrite the apps baseline JSON")
+    parser.add_argument("--efficiency", action="store_true",
+                        help="run only the replica-placement efficiency gate "
+                             "(optimized partial vs full replication)")
+    parser.add_argument("--update-efficiency", action="store_true",
+                        help="re-measure and rewrite the efficiency baseline "
+                             "JSON")
     args = parser.parse_args(argv)
+
+    if args.update_efficiency:
+        measured = measure_efficiency()
+        EFFICIENCY_BASELINE_PATH.write_text(
+            json.dumps(measured, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"efficiency baseline updated: {EFFICIENCY_BASELINE_PATH}")
+        for key, value in sorted(measured.items()):
+            print(f"  {key}: {value}")
+        return 0
+
+    if args.efficiency:
+        return check_efficiency(measure_efficiency())
 
     if args.update_apps:
         measured = measure_apps()

@@ -1,0 +1,63 @@
+"""Benchmarks for the replica-placement optimizer and the efficiency headline.
+
+The series reported: placement-optimizer wall-clock at the two scales the
+``repro.place`` package targets (exact search on a paper-sized system, seeded
+local search at 100 processes — the metric the ``make bench-efficiency``
+regression gate calibration-normalises against ``efficiency_baseline.json``)
+plus the protocol half of the headline at reduced scale, asserting the
+optimized partial placement moves strictly fewer control bytes per message
+than full replication on the same script.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.core.distribution import VariableDistribution
+from repro.place import optimize_placement, synthetic_profile
+from repro.workloads.access_patterns import zipfian_access_script
+
+
+def test_optimize_exact_small(benchmark):
+    profile = synthetic_profile(8, 6, accessors_per_variable=2, seed=2)
+    result = benchmark.pedantic(
+        lambda: optimize_placement(profile, "control", mode="exact", seed=0),
+        rounds=3, iterations=1,
+    )
+    assert result.mode == "exact"
+    assert result.cost <= result.minimal_cost
+
+
+def test_optimize_greedy_at_scale(benchmark):
+    profile = synthetic_profile(100, 60, accessors_per_variable=3, seed=7)
+    result = benchmark.pedantic(
+        lambda: optimize_placement(profile, "control", seed=3, budget=25),
+        rounds=2, iterations=1,
+    )
+    assert result.mode == "greedy"
+    assert result.cost <= result.minimal_cost
+    # same profile + seed must reproduce the same placement bit for bit
+    again = optimize_placement(profile, "control", seed=3, budget=25)
+    assert again.distribution == result.distribution
+    assert again.cost == result.cost
+
+
+def test_placed_beats_full_replication_control_bytes(benchmark):
+    """The Section 3.3 headline at reduced scale (the gate runs it at 100)."""
+    profile = synthetic_profile(40, 24, accessors_per_variable=3, seed=7)
+    minimal = profile.minimal_distribution()
+    result = optimize_placement(profile, "control", seed=3, budget=20)
+    script = zipfian_access_script(minimal, operations_per_process=2,
+                                   write_fraction=0.5, skew=1.0, seed=5)
+
+    def run_placed():
+        return Session("causal_tree", result.distribution, script,
+                       seed=5, exact=False).run()
+
+    placed = benchmark.pedantic(run_placed, rounds=2, iterations=1)
+    full_dist = VariableDistribution.full_replication(
+        range(40), [f"x{i}" for i in range(24)])
+    full = Session("causal_full", full_dist, script, seed=5, exact=False).run()
+    assert placed.outcome() == "pass"
+    assert full.outcome() == "pass"
+    assert (placed.efficiency.control_bytes_per_message
+            < full.efficiency.control_bytes_per_message)

@@ -228,6 +228,14 @@ class RunReport:
         if self.efficiency is not None:
             lines.append(f"messages sent       : {self.efficiency.messages_sent}")
             lines.append(f"control bytes       : {self.efficiency.control_bytes}")
+            lines.append(
+                "control B/message   : "
+                f"{self.efficiency.control_bytes_per_message:.1f}"
+            )
+            lines.append(
+                "control/payload     : "
+                f"{self.efficiency.control_overhead_ratio:.3f}"
+            )
             lines.append(f"irrelevant messages : {self.efficiency.irrelevant_messages}")
         if self.network_model != "reliable" or self.messages_dropped \
                 or self.messages_duplicated:

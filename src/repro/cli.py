@@ -624,6 +624,88 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return handlers[args.serve_command](args)
 
 
+def _place_profile(args: argparse.Namespace):
+    """Resolve the ``repro place`` input flags to an :class:`AccessProfile`."""
+    import json
+
+    from .exceptions import ScenarioSpecError
+    from .place import AccessProfile, synthetic_profile
+
+    if args.profile:
+        with open(args.profile, "r", encoding="utf-8") as fh:
+            return AccessProfile.from_dict(json.load(fh))
+    if args.trace:
+        return AccessProfile.from_trace(args.trace)
+    if not args.processes or not args.variables:
+        raise ScenarioSpecError(
+            "repro place needs --profile, --trace, or a synthetic profile "
+            "(--processes N --variables M)"
+        )
+    return synthetic_profile(
+        args.processes,
+        args.variables,
+        accessors_per_variable=args.accessors,
+        seed=args.profile_seed,
+    )
+
+
+def _cmd_place_optimize(args: argparse.Namespace) -> int:
+    import json
+
+    from .place import build_report, measure_overhead, optimize_placement
+
+    profile = _place_profile(args)
+    result = optimize_placement(
+        profile,
+        args.objective,
+        mode=args.mode,
+        seed=args.seed,
+        budget=args.budget,
+    )
+    measured = None
+    if args.measure:
+        measured = measure_overhead(result.distribution, args.measure,
+                                    seed=args.seed)
+    report = build_report(result, profile, measured=measured)
+    print(report.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+    if measured is not None and measured.get("consistent") != 1.0:
+        print(f"error: measured run on {args.measure!r} was not consistent",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_place_report(args: argparse.Namespace) -> int:
+    import json
+
+    from .place import PlacementReport, measure_overhead
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        report = PlacementReport.from_dict(json.load(fh))
+    if args.measure:
+        report.measured = measure_overhead(report.distribution(), args.measure,
+                                           seed=report.seed)
+    print(report.render())
+    if args.measure and report.measured.get("consistent") != 1.0:
+        print(f"error: measured run on {args.measure!r} was not consistent",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    handlers = {
+        "optimize": _cmd_place_optimize,
+        "report": _cmd_place_report,
+    }
+    return handlers[args.place_command](args)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: the determinism & plugin-contract static analyzer."""
     import os
@@ -1006,6 +1088,53 @@ def build_parser() -> argparse.ArgumentParser:
         "smoke", help="two-tenant end-to-end smoke over a real socket "
                       "(the CI gate)")
 
+    place = sub.add_parser(
+        "place",
+        help="share-graph replica-placement optimizer (optimize/report)")
+    plsub = place.add_subparsers(dest="place_command", required=True)
+
+    place_opt = plsub.add_parser(
+        "optimize",
+        help="search a variable distribution minimising control-info cost")
+    place_opt.add_argument("--profile", default=None, metavar="FILE",
+                           help="access-profile JSON ({reads: [[pid, var, "
+                                "n], ...], writes: [...]})")
+    place_opt.add_argument("--trace", default=None, metavar="FILE",
+                           help="build the profile from a repro-trace-v1 file")
+    place_opt.add_argument("--processes", type=int, default=0,
+                           help="synthetic profile: number of processes")
+    place_opt.add_argument("--variables", type=int, default=0,
+                           help="synthetic profile: number of variables")
+    place_opt.add_argument("--accessors", type=int, default=3,
+                           help="synthetic profile: accessors per variable "
+                                "(default 3)")
+    place_opt.add_argument("--profile-seed", type=int, default=0,
+                           help="synthetic profile seed (default 0)")
+    place_opt.add_argument("--objective", default="control",
+                           help="control | relevant | hoops | replicas")
+    place_opt.add_argument("--mode", default="auto",
+                           choices=["auto", "exact", "greedy"])
+    place_opt.add_argument("--seed", type=int, default=0,
+                           help="search seed; same profile + seed = same "
+                                "placement")
+    place_opt.add_argument("--budget", type=int, default=400,
+                           help="evaluation budget of the local search "
+                                "(default 400)")
+    place_opt.add_argument("--measure", default=None, metavar="PROTOCOL",
+                           help="also run the placement through this "
+                                "protocol and record measured overhead")
+    place_opt.add_argument("--out", default=None, metavar="FILE",
+                           help="write the placement report as JSON (its "
+                                "holders mapping replays via the 'explicit' "
+                                "distribution family)")
+
+    place_rep = plsub.add_parser(
+        "report", help="re-render (and optionally measure) a placement report")
+    place_rep.add_argument("file", help="report JSON from 'place optimize --out'")
+    place_rep.add_argument("--measure", default=None, metavar="PROTOCOL",
+                           help="run the placement through this protocol "
+                                "and refresh the measured numbers")
+
     lint = sub.add_parser(
         "lint",
         help="determinism & plugin-contract static analysis (docs/API.md "
@@ -1043,6 +1172,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "hunt": _cmd_hunt,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
+        "place": _cmd_place,
         "lint": _cmd_lint,
     }
     try:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..exceptions import RelationDomainError
 from .distribution import VariableDistribution
 from .graphlib import LabelledGraph
 
@@ -70,12 +71,18 @@ class ShareGraph:
         graph = LabelledGraph()
         for pid in distribution.processes:
             graph.add_vertex(pid)
-        procs = distribution.processes
-        for i, a in enumerate(procs):
-            for b in procs[i + 1:]:
-                for var in distribution.shared_variables(a, b):
+        for var in distribution.variables:
+            holders = sorted(distribution.holders(var))
+            for i, a in enumerate(holders):
+                for b in holders[i + 1:]:
                     graph.add_edge(a, b, var)
         self._graph = graph
+        # The graph is immutable once built, so the Theorem 1 quantities are
+        # memoised: the sharded protocols and the placement optimizer query
+        # the same instance repeatedly (once per process, per variable).
+        self._hoop_cache: Dict[str, FrozenSet[int]] = {}
+        self._component_cache: Optional[Tuple[FrozenSet[int], ...]] = None
+        self._tree_cache: Dict[str, Dict[int, Tuple[int, ...]]] = {}
 
     # -- basic structure --------------------------------------------------------
     @property
@@ -112,6 +119,81 @@ class ShareGraph:
     def neighbours(self, process: int) -> Tuple[int, ...]:
         """Processes sharing at least one variable with ``process``."""
         return self._graph.neighbours(process)
+
+    # -- share-graph components (sharding) -----------------------------------------
+    def components(self) -> Tuple[FrozenSet[int], ...]:
+        """Connected components of ``SG`` over the processes holding variables.
+
+        Processes replicating no variable take part in no share-graph edge and
+        in no protocol exchange, so they are omitted.  Components are returned
+        sorted by their smallest process id (deterministic).
+        """
+        if self._component_cache is None:
+            active = [p for p in self.processes if self._distribution.variables_of(p)]
+            comps = self._graph.connected_components(active)
+            self._component_cache = tuple(
+                sorted((frozenset(c) for c in comps), key=min)
+            )
+        return self._component_cache
+
+    def variable_groups(self) -> Tuple[Tuple[FrozenSet[str], FrozenSet[int]], ...]:
+        """The shards of the distribution: one ``(variables, processes)`` pair
+        per share-graph component.
+
+        Every clique ``C(x)`` is connected, hence contained in exactly one
+        component; two variables fall in the same group exactly when their
+        cliques are transitively linked by shared processes.  Distinct groups
+        therefore have disjoint process sets *and* disjoint variable sets —
+        the independence that lets a sharded protocol order each group
+        separately without any cross-group synchronisation.
+        """
+        groups = []
+        for component in self.components():
+            vars_ = frozenset(
+                var for var in self.variables if self.clique(var) <= component
+            )
+            groups.append((vars_, component))
+        return tuple(groups)
+
+    def group_of(self, variable: str) -> Tuple[FrozenSet[str], FrozenSet[int]]:
+        """The shard (variable group) ``variable`` belongs to."""
+        for vars_, members in self.variable_groups():
+            if variable in vars_:
+                return vars_, members
+        raise RelationDomainError(
+            f"variable {variable!r} not in the distribution")
+
+    def relevance_tree(self, variable: str) -> Dict[int, Tuple[int, ...]]:
+        """A deterministic spanning tree of the x-relevant processes.
+
+        The sub-graph of ``SG`` induced by ``relevant_processes(variable)`` is
+        connected (the clique is connected, and every hoop process reaches the
+        clique through hoop vertices, all of them relevant), so a breadth-first
+        tree rooted at the smallest clique member spans it.  The returned
+        mapping gives each relevant process its tree neighbours — the routing
+        table of the ``causal_tree`` protocol: an update to ``variable``
+        travels only tree edges, hence only between x-relevant processes.
+        """
+        if variable in self._tree_cache:
+            return self._tree_cache[variable]
+        relevant = self.relevant_processes(variable)
+        root = min(self.clique(variable))
+        neighbours: Dict[int, Set[int]] = {p: set() for p in relevant}
+        visited = {root}
+        frontier = [root]
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for v in self._graph.neighbours(u):
+                    if v in neighbours and v not in visited:
+                        visited.add(v)
+                        neighbours[u].add(v)
+                        neighbours[v].add(u)
+                        nxt.append(v)
+            frontier = nxt
+        tree = {p: tuple(sorted(nbrs)) for p, nbrs in neighbours.items()}
+        self._tree_cache[variable] = tree
+        return tree
 
     # -- hoops -------------------------------------------------------------------
     def _hoop_edge_filter(self, variable: str):
@@ -267,6 +349,24 @@ class ShareGraph:
         exact vertex-disjoint-paths test per surviving candidate
         (:meth:`is_on_hoop`).
         """
+        if variable in self._hoop_cache:
+            return self._hoop_cache[variable]
+        result = frozenset(
+            p for p in self.hoop_candidates(variable) if self.is_on_hoop(p, variable)
+        )
+        self._hoop_cache[variable] = result
+        return result
+
+    def hoop_candidates(self, variable: str) -> FrozenSet[int]:
+        """Cheap upper bound on :meth:`hoop_processes` (component pre-filter).
+
+        A component of ``SG - C(x)`` (over edges sharing a variable other than
+        ``x``) whose attachment to ``C(x)`` touches fewer than two distinct
+        clique members can contain no hoop process; everything else is a
+        candidate.  One BFS over the graph — no max-flow — which makes this
+        the evaluation primitive of the placement optimizer's surrogate cost
+        (the exact test runs only on the final report).
+        """
         clique = self.clique(variable)
         outside = set(self.processes) - clique
         usable = self._hoop_edge_filter(variable)
@@ -281,7 +381,7 @@ class ShareGraph:
                         attached.add(neighbour)
             if len(attached) >= 2:
                 candidates |= component
-        return frozenset(p for p in candidates if self.is_on_hoop(p, variable))
+        return frozenset(candidates)
 
     def relevant_processes(self, variable: str) -> FrozenSet[int]:
         """The x-relevant processes per Theorem 1: ``C(x)`` ∪ hoop processes."""

@@ -62,6 +62,7 @@ class ScenarioRecord:
     relevance_violations: int
     elapsed_s: float
     cached: bool = False
+    control_overhead_ratio: float = 0.0
     network_model: str = "reliable"
     messages_dropped: int = 0
     messages_duplicated: int = 0
@@ -116,6 +117,7 @@ class ScenarioRecord:
             "ops": self.operations,
             "msgs": self.messages,
             "ctrl_B/msg": round(self.control_bytes_per_message, 1),
+            "ctrl/payload": round(self.control_overhead_ratio, 3),
             "irrelevant": self.irrelevant_messages,
             "beyond_thm1": self.relevance_violations,
             "time_s": round(self.elapsed_s, 3),
@@ -222,6 +224,7 @@ def run_point(point: ScenarioPoint, pool: Optional[Any] = None) -> ScenarioRecor
         payload_bytes=efficiency.payload_bytes,
         control_bytes=efficiency.control_bytes,
         control_bytes_per_message=efficiency.control_bytes_per_message,
+        control_overhead_ratio=efficiency.control_overhead_ratio,
         irrelevant_messages=efficiency.irrelevant_messages,
         irrelevant_fraction=efficiency.irrelevant_message_fraction,
         relevance_violations=report.relevance_violations,

@@ -55,8 +55,9 @@ from ..spec.scenario import ScenarioSpec as _RunSpec
 
 #: Bump when the record layout or run semantics change; part of every content
 #: hash, so stale cache entries are never reused across incompatible versions.
-#: (3: scenarios gained the application axis and records the app verdict.)
-CACHE_VERSION = 3
+#: (3: scenarios gained the application axis and records the app verdict;
+#: 4: records carry the control/payload overhead ratio.)
+CACHE_VERSION = 4
 
 
 # ---------------------------------------------------------------------------

@@ -43,6 +43,17 @@ Three suites ship with the library (all registered on the global
     the hardened PRAM protocol must keep producing correct routes under
     message duplication, and the partitioned barrier must keep being
     *diagnosed* as a livelock instead of spinning forever.
+
+``efficiency``
+    The replica-placement study (Section 3.3 quantified): the
+    ``placed`` distribution family runs the :mod:`repro.place` optimizer
+    while expanding the grid, so the suite sweeps processes x replication
+    degree x placement (optimized vs uniform-random vs full) over the
+    Zipf-skewed workload and records control bytes per message for the
+    sharded-sequencer, causal-tree and PRAM protocols against the
+    full-replication baselines.  ``make bench-efficiency`` gates the
+    headline comparison (optimized partial strictly cheaper per message
+    than full replication at 120 processes).
 """
 
 from __future__ import annotations
@@ -468,6 +479,85 @@ def builtin_scenarios() -> List[ExperimentSpec]:
             expect_consistent=True,
             expect_correct=False,
             seeds=(0,),
+        ),
+        # ------------------------------------------------------------- efficiency
+        ScenarioSpec(
+            name="efficiency-placed-scale",
+            suite="efficiency",
+            paper_ref="Section 3.3 / Theorem 1 (control-information cost)",
+            description="Optimizer-placed partial replication swept over the "
+                        "process count: the sharded and tree protocols route "
+                        "control information only through (near-)relevant "
+                        "processes, so control bytes per message stay flat "
+                        "while full replication's grow with n.",
+            protocols=("causal_tree", "sequencer_shard", "pram_partial"),
+            distribution=DistributionSpec("placed", {
+                "processes": 20, "variables": 24,
+                "accessors_per_variable": 3, "budget": 60,
+            }),
+            workload=WorkloadSpec("zipfian", {"operations_per_process": 3,
+                                              "write_fraction": 0.5,
+                                              "skew": 1.0}),
+            grid={"distribution.processes": (20, 50, 100)},
+            exact=False,
+            seeds=(0,),
+        ),
+        ScenarioSpec(
+            name="efficiency-uniform-placement",
+            suite="efficiency",
+            paper_ref="Section 3.3 (placement matters, not just the degree)",
+            description="Same replication degree, uniform random placement "
+                        "instead of the optimizer's: the baseline the "
+                        "placed-scale scenario is compared against.",
+            protocols=("causal_tree", "sequencer_shard", "pram_partial"),
+            distribution=DistributionSpec("random", {
+                "processes": 50, "variables": 24,
+                "replicas_per_variable": 3,
+            }),
+            workload=WorkloadSpec("zipfian", {"operations_per_process": 3,
+                                              "write_fraction": 0.5,
+                                              "skew": 1.0}),
+            exact=False,
+            seeds=(0,),
+        ),
+        ScenarioSpec(
+            name="efficiency-full-baseline",
+            suite="efficiency",
+            paper_ref="Section 3.3 ([5] over full replication)",
+            description="The classical full-replication protocols on the "
+                        "same workload shape: per-message control grows "
+                        "with the process count (vector clocks) or every "
+                        "write crosses the whole system (sequencer).",
+            protocols=("causal_full", "sequencer_sc"),
+            distribution=DistributionSpec("full_replication", {
+                "processes": 10, "variables": 8,
+            }),
+            workload=WorkloadSpec("zipfian", {"operations_per_process": 3,
+                                              "write_fraction": 0.5,
+                                              "skew": 1.0}),
+            grid={"distribution.processes": (10, 20, 40)},
+            exact=False,
+            seeds=(0,),
+        ),
+        ScenarioSpec(
+            name="efficiency-hot-migration",
+            suite="efficiency",
+            paper_ref="Section 3.3 (placement vs a drifting workload)",
+            description="Zipfian hot spot migrating mid-run over an "
+                        "optimizer-placed distribution: the placement was "
+                        "optimized for the initial profile, the verdicts "
+                        "must survive the drift (overhead may not).",
+            protocols=("causal_tree", "pram_partial"),
+            distribution=DistributionSpec("placed", {
+                "processes": 30, "variables": 24,
+                "accessors_per_variable": 3, "budget": 60,
+            }),
+            workload=WorkloadSpec("zipfian", {"operations_per_process": 4,
+                                              "write_fraction": 0.5,
+                                              "skew": 1.5,
+                                              "hot_migration_every": 8}),
+            exact=False,
+            seeds=(0, 1),
         ),
     ]
 

@@ -180,7 +180,9 @@ class SpecSampler:
 
     def _sample_workload(self, rng: random.Random,
                          distribution: DistributionSpec) -> WorkloadSpec:
-        choices: List[Tuple[str, float]] = [("uniform", 2.0), ("single_writer", 1.0)]
+        choices: List[Tuple[str, float]] = [("uniform", 2.0),
+                                            ("single_writer", 1.0),
+                                            ("zipfian", 1.0)]
         if distribution.family == "chain":
             # the hoop relay is the Figure 2 information flow — the pattern
             # partition faults turn into causal violations
@@ -190,6 +192,13 @@ class SpecSampler:
             params: Dict[str, Any] = {
                 "operations_per_process": rng.randint(4, self.max_operations),
                 "write_fraction": rng.choice((0.3, 0.5, 0.7)),
+            }
+        elif pattern == "zipfian":
+            params = {
+                "operations_per_process": rng.randint(4, self.max_operations),
+                "write_fraction": rng.choice((0.3, 0.5, 0.7)),
+                "skew": rng.choice((0.5, 1.0, 2.0)),
+                "hot_migration_every": rng.choice((0, 0, 8)),
             }
         elif pattern == "single_writer":
             params = {

@@ -41,8 +41,10 @@ from ..spec.registry import PROTOCOL_REGISTRY, RegistryView, resolve_protocol
 from . import best_effort as _best_effort  # noqa: F401
 from . import causal_full as _causal_full  # noqa: F401
 from . import causal_partial as _causal_partial  # noqa: F401
+from . import causal_tree as _causal_tree  # noqa: F401
 from . import pram_partial as _pram_partial  # noqa: F401
 from . import sequencer_sc as _sequencer_sc  # noqa: F401
+from . import sequencer_shard as _sequencer_shard  # noqa: F401
 from .base import MCSProcess
 from .metrics import EfficiencyReport, efficiency_report
 from .recorder import HistoryRecorder

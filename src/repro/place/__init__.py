@@ -1,0 +1,35 @@
+"""Replica placement: turning Theorem 1 into an optimizer.
+
+The paper characterises which processes must carry control information about
+each variable (the x-relevant sets of ``core/share_graph.py``); this package
+*exploits* the characterisation: given a workload's access profile (or a
+recorded trace), it searches variable distributions that minimise the
+predicted control-information cost — exactly for small systems, by seeded
+local search for 100–1000 processes — and emits a
+:class:`~repro.core.distribution.VariableDistribution` together with a
+placement report (hoop witnesses, relevant-set sizes, predicted vs measured
+overhead).
+
+Entry points: :func:`optimize_placement`, :class:`AccessProfile`,
+:func:`build_report`, and the ``explicit`` / ``placed`` distribution
+families in :mod:`repro.place.families` (the JSON-round-trippable forms the
+optimizer's output replays through).
+"""
+
+from .objectives import OBJECTIVES, placement_cost, predicted_overhead
+from .optimizer import PlacementResult, optimize_placement
+from .profile import AccessProfile, synthetic_profile
+from .report import PlacementReport, build_report, measure_overhead
+
+__all__ = [
+    "AccessProfile",
+    "OBJECTIVES",
+    "PlacementReport",
+    "PlacementResult",
+    "build_report",
+    "measure_overhead",
+    "optimize_placement",
+    "placement_cost",
+    "predicted_overhead",
+    "synthetic_profile",
+]

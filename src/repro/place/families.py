@@ -1,0 +1,90 @@
+"""Distribution families exposing optimizer output to the spec layer.
+
+``explicit`` is the JSON form of any concrete distribution — the optimizer's
+output serialises to its ``holders`` mapping, so a placed distribution
+round-trips through :class:`~repro.spec.DistributionSpec` / scenario JSON and
+replays through ``Session.from_spec`` like any built-in family.
+
+``placed`` closes the loop inside the spec itself: it generates a seeded
+synthetic access profile and *runs the optimizer* while building the
+distribution, so experiment suites can sweep "optimized placement at n
+processes" as a single scenario axis (the efficiency suite does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from ..core.distribution import VariableDistribution
+from ..exceptions import ScenarioSpecError
+from ..spec.registry import register_distribution
+from .optimizer import optimize_placement
+from .profile import synthetic_profile
+
+
+@register_distribution(
+    "explicit",
+    params=("holders", "processes"),
+    seeded=False,
+    description="a concrete holders mapping (the optimizer's JSON output)",
+)
+def explicit_distribution(
+    holders: Mapping[str, Iterable[Union[int, str]]],
+    processes: Optional[Iterable[Union[int, str]]] = None,
+) -> VariableDistribution:
+    """Build a distribution from an explicit ``variable -> holders`` mapping.
+
+    JSON object keys are strings, so process ids may arrive as ``"3"``;
+    they are coerced like :meth:`VariableDistribution.from_holders` does.
+    """
+    if not holders:
+        raise ScenarioSpecError(
+            "explicit distribution needs a non-empty holders mapping"
+        )
+    try:
+        coerced: Dict[str, list] = {
+            str(var): [int(p) for p in pids] for var, pids in holders.items()
+        }
+        pids = None if processes is None else [int(p) for p in processes]
+    except (TypeError, ValueError) as exc:
+        raise ScenarioSpecError(
+            f"explicit distribution holders must map variables to "
+            f"process-id lists: {exc}"
+        ) from exc
+    return VariableDistribution.from_holders(coerced, processes=pids)
+
+
+@register_distribution(
+    "placed",
+    params=("processes", "variables", "accessors_per_variable", "objective",
+            "budget", "profile_seed"),
+    seeded=True,
+    description="optimizer-placed replicas for a seeded synthetic profile",
+)
+def placed_distribution(
+    processes: int,
+    variables: int,
+    accessors_per_variable: int = 2,
+    objective: str = "control",
+    budget: int = 200,
+    profile_seed: Optional[int] = None,
+    seed: int = 0,
+) -> VariableDistribution:
+    """Synthesise a profile, optimize its placement, return the distribution.
+
+    The scenario ``seed`` drives both the profile and the search unless
+    ``profile_seed`` pins the profile separately (so sweeps can vary the
+    search seed over a fixed workload).  The resulting distribution gives
+    every variable at least its accessors, so any workload generated against
+    the accessor-minimal distribution also runs on it.
+    """
+    profile = synthetic_profile(
+        processes,
+        variables,
+        accessors_per_variable=accessors_per_variable,
+        seed=seed if profile_seed is None else profile_seed,
+    )
+    result = optimize_placement(
+        profile, objective, seed=seed, budget=budget
+    )
+    return result.distribution

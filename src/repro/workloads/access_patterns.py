@@ -64,6 +64,74 @@ def uniform_access_script(
 
 
 @register_workload(
+    "zipfian",
+    params=("operations_per_process", "write_fraction", "skew",
+            "hot_migration_every"),
+    description="Zipf-skewed per-process variable choice with optional "
+                "hot-key migration (rank rotation)",
+)
+def zipfian_access_script(
+    distribution: VariableDistribution,
+    operations_per_process: int = 20,
+    write_fraction: float = 0.5,
+    skew: float = 1.0,
+    hot_migration_every: int = 0,
+    seed: int = 0,
+) -> List[Access]:
+    """Zipf-skewed accesses: each process hammers a few hot variables.
+
+    Each process ranks its replicated variables and picks with probability
+    proportional to ``1 / (rank + 1) ** skew`` — ``skew=0`` degenerates to
+    :func:`uniform_access_script`'s choice, larger skews concentrate traffic
+    on the hot head.  This is the workload shape where placement matters
+    most: the control cost of a variable is weighted by how often it is
+    written, so a skewed profile rewards placements that shrink the relevant
+    sets of exactly the hot variables.
+
+    ``hot_migration_every > 0`` rotates every process's ranking by one
+    position after that many *global* operations, migrating the hot spot —
+    the adversarial case for a placement optimized against a stale profile.
+    """
+    if skew < 0:
+        raise ScenarioSpecError(f"zipfian needs skew >= 0, got {skew}")
+    if hot_migration_every < 0:
+        raise ScenarioSpecError(
+            f"zipfian needs hot_migration_every >= 0, got {hot_migration_every}"
+        )
+    rng = random.Random(seed)
+    script: List[Access] = []
+    counter = 0
+    per_process: Dict[int, int] = {p: 0 for p in distribution.processes}
+    ranked: Dict[int, List[str]] = {
+        p: sorted(distribution.variables_of(p)) for p in distribution.processes
+    }
+    active = [p for p in distribution.processes if ranked[p]]
+    rotation = 0
+    while active:
+        if hot_migration_every:
+            target_rotation = len(script) // hot_migration_every
+            if target_rotation != rotation:
+                rotation = target_rotation
+                for pid in ranked:
+                    vars_ = ranked[pid]
+                    if len(vars_) > 1:
+                        ranked[pid] = vars_[1:] + vars_[:1]
+        pid = rng.choice(active)
+        variables = ranked[pid]
+        weights = [1.0 / (rank + 1) ** skew for rank in range(len(variables))]
+        var = rng.choices(variables, weights=weights)[0]
+        if rng.random() < write_fraction:
+            script.append(Access(pid, "write", var, f"{var}@{pid}#{counter}"))
+            counter += 1
+        else:
+            script.append(Access(pid, "read", var))
+        per_process[pid] += 1
+        if per_process[pid] >= operations_per_process:
+            active.remove(pid)
+    return script
+
+
+@register_workload(
     "single_writer",
     params=("writes_per_variable", "reads_per_replica"),
     description="one writer per variable, the PRAM-friendly Section 6 pattern",

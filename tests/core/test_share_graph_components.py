@@ -1,0 +1,99 @@
+"""Unit tests for the share-graph component APIs (sharding & relay trees)."""
+
+import pytest
+
+from repro.core.distribution import VariableDistribution
+from repro.core.share_graph import ShareGraph
+from repro.workloads.distributions import (
+    chain_distribution,
+    disjoint_blocks,
+    random_distribution,
+)
+
+
+class TestComponents:
+    def test_disjoint_blocks_split_into_their_groups(self):
+        dist = disjoint_blocks(groups=3, group_size=2, variables_per_group=1)
+        share = ShareGraph(dist)
+        components = share.components()
+        assert len(components) == 3
+        assert components[0] == frozenset({0, 1})
+        assert components[2] == frozenset({4, 5})
+
+    def test_chain_is_one_component(self):
+        share = ShareGraph(chain_distribution(3))
+        assert len(share.components()) == 1
+
+    def test_variable_groups_partition_processes_and_variables(self):
+        dist = disjoint_blocks(groups=2, group_size=3, variables_per_group=2)
+        share = ShareGraph(dist)
+        groups = share.variable_groups()
+        seen_vars, seen_procs = set(), set()
+        for variables, members in groups:
+            assert not seen_vars & set(variables)
+            assert not seen_procs & set(members)
+            seen_vars |= set(variables)
+            seen_procs |= set(members)
+        assert seen_vars == set(dist.variables)
+
+    def test_group_of_unknown_variable_raises(self):
+        share = ShareGraph(chain_distribution(1))
+        with pytest.raises(KeyError):
+            share.group_of("nope")
+
+    def test_isolated_process_not_in_any_component(self):
+        dist = VariableDistribution({0: {"x"}, 1: {"x"}, 2: set()})
+        share = ShareGraph(dist)
+        assert share.components() == (frozenset({0, 1}),)
+
+
+class TestRelevanceTree:
+    def test_tree_is_deterministic(self):
+        dist = random_distribution(7, 5, replicas_per_variable=3, seed=4)
+        a = ShareGraph(dist)
+        b = ShareGraph(dist)
+        for var in dist.variables:
+            assert a.relevance_tree(var) == b.relevance_tree(var)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tree_spans_relevant_set_acyclically(self, seed):
+        dist = random_distribution(6, 4, replicas_per_variable=2, seed=seed)
+        share = ShareGraph(dist)
+        for var in dist.variables:
+            tree = share.relevance_tree(var)
+            relevant = share.relevant_processes(var)
+            assert set(tree) == set(relevant)
+            edges = sum(len(neighbours) for neighbours in tree.values())
+            assert edges == 2 * (len(relevant) - 1)
+            # symmetry: adjacency is undirected
+            for node, neighbours in tree.items():
+                for other in neighbours:
+                    assert node in tree[other]
+
+    def test_tree_edges_are_share_graph_edges(self):
+        dist = chain_distribution(3)
+        share = ShareGraph(dist)
+        for var in dist.variables:
+            tree = share.relevance_tree(var)
+            for node, neighbours in tree.items():
+                for other in neighbours:
+                    assert other in share.neighbours(node)
+
+
+class TestHoopCandidates:
+    def test_candidates_empty_when_hoop_free(self):
+        share = ShareGraph(disjoint_blocks(groups=2, group_size=3))
+        for var in share.variables:
+            assert share.hoop_candidates(var) == frozenset()
+
+    def test_chain_intermediates_are_candidates_and_processes(self):
+        share = ShareGraph(chain_distribution(2))
+        assert share.hoop_candidates("x") == frozenset({1, 2})
+        assert share.hoop_processes("x") == frozenset({1, 2})
+
+    def test_memoized_results_are_stable(self):
+        dist = random_distribution(6, 4, replicas_per_variable=2, seed=8)
+        share = ShareGraph(dist)
+        for var in dist.variables:
+            assert share.hoop_processes(var) == share.hoop_processes(var)
+            assert share.relevant_processes(var) == share.relevant_processes(var)

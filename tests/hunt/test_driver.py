@@ -46,10 +46,13 @@ class TestFindingsShape:
         assert len(signatures) == len(set(signatures))
 
     def test_shrinking_attaches_provenance_and_reduces_size(self):
-        report = hunt(budget=10, hunter_seed=0, shrink=True, shrink_budget=60)
+        # seed 1 is the smallest hunter seed with a finding inside 10 trials
+        # now that the sampler also draws zipfian workloads and the sharded
+        # protocols
+        report = hunt(budget=10, hunter_seed=1, shrink=True, shrink_budget=60)
         assert report.findings
         for finding in report.findings:
-            assert finding.provenance["hunter_seed"] == 0
+            assert finding.provenance["hunter_seed"] == 1
             assert "shrink_runs" in finding.provenance
             original = finding.provenance["original_operations"]
             assert finding.operations <= original

@@ -1,0 +1,70 @@
+"""Unit tests for the sharded-sequencer protocol (per-group total order)."""
+
+import pytest
+
+from repro.api import Session
+from repro.core.share_graph import ShareGraph
+from repro.workloads.distributions import (
+    chain_distribution,
+    disjoint_blocks,
+    random_distribution,
+)
+
+
+class TestSharding:
+    def test_disjoint_blocks_get_one_sequencer_each(self):
+        dist = disjoint_blocks(groups=3, group_size=2, variables_per_group=2)
+        share = ShareGraph(dist)
+        groups = share.variable_groups()
+        assert len(groups) == 3
+        members_seen = set()
+        for variables, members in groups:
+            assert not members_seen & set(members), "groups must be disjoint"
+            members_seen |= set(members)
+        session = Session("sequencer_shard", dist,
+                          ("uniform", {"operations_per_process": 6}), seed=1)
+        report = session.run()
+        assert report.outcome() == "pass"
+        # each group sequences independently: no process outside a group
+        # ever receives a message about its variables
+        assert report.efficiency.irrelevant_messages == 0
+
+    def test_single_component_has_single_sequencer(self):
+        dist = chain_distribution(2)
+        share = ShareGraph(dist)
+        assert len(share.variable_groups()) == 1
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sequentially_consistent_on_random_distributions(self, seed):
+        dist = random_distribution(5, 4, replicas_per_variable=2, seed=seed)
+        session = Session("sequencer_shard", dist,
+                          ("uniform", {"operations_per_process": 5}),
+                          seed=seed, criteria=("sequential",), exact=True)
+        report = session.run()
+        assert report.outcome() == "pass"
+        assert report.result("sequential").consistent is True
+
+    def test_no_updates_left_pending_on_reliable_network(self):
+        dist = random_distribution(5, 4, replicas_per_variable=3, seed=2)
+        session = Session("sequencer_shard", dist,
+                          ("uniform", {"operations_per_process": 5}), seed=2)
+        report = session.run()
+        assert report.outcome() == "pass"
+        for pid in dist.processes:
+            process = session.system.process(pid)
+            assert process.pending_ordered_updates() == 0
+            assert process.own_pending_writes() == 0
+
+    def test_reads_block_until_own_writes_sequenced(self):
+        # blocking_reads metadata is what the session drive loop keys its
+        # retry handling on; the protocol must declare it
+        from repro.spec import PROTOCOL_REGISTRY
+
+        metadata = PROTOCOL_REGISTRY.get("sequencer_shard").metadata
+        assert metadata["blocking_reads"] is True
+        assert metadata["criterion"] == "sequential"
+        assert metadata["replication"] == "partial"
+        assert metadata["fault_tolerant"] is True
+        assert metadata["order_tolerant"] is False

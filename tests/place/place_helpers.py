@@ -1,0 +1,16 @@
+"""Shared fixtures for the replica-placement tests."""
+
+from repro.place import AccessProfile
+
+
+def chain_profile() -> AccessProfile:
+    """The Figure 2 shape as a profile: a hoop the optimizer can break.
+
+    Processes 0 and 3 access ``x``; consecutive pairs access relay
+    variables.  The accessor-minimal placement is exactly the chain
+    distribution, whose intermediates 1 and 2 are x-relevant by Theorem 1.
+    """
+    return AccessProfile(
+        reads={(3, "x"): 2, (1, "y0"): 2, (2, "y1"): 2, (3, "y2"): 2},
+        writes={(0, "x"): 4, (0, "y0"): 2, (1, "y1"): 2, (2, "y2"): 2},
+    )

@@ -1,0 +1,100 @@
+"""Unit tests for the placement search (objectives, exact and greedy modes)."""
+
+import pytest
+from place_helpers import chain_profile
+
+from repro.core.share_graph import ShareGraph
+from repro.exceptions import ScenarioSpecError
+from repro.place import (
+    AccessProfile,
+    OBJECTIVES,
+    optimize_placement,
+    placement_cost,
+    predicted_overhead,
+    synthetic_profile,
+)
+
+
+class TestObjectives:
+    def test_every_objective_scores(self):
+        profile = synthetic_profile(6, 5, seed=1)
+        dist = profile.minimal_distribution()
+        for objective in OBJECTIVES:
+            assert placement_cost(dist, profile, objective) >= 0.0
+
+    def test_unknown_objective_rejected(self):
+        profile = synthetic_profile(4, 3, seed=0)
+        with pytest.raises(ScenarioSpecError):
+            placement_cost(profile.minimal_distribution(), profile, "bogus")
+        with pytest.raises(ScenarioSpecError):
+            optimize_placement(profile, "bogus")
+
+    def test_unknown_mode_and_bad_budget_rejected(self):
+        profile = synthetic_profile(4, 3, seed=0)
+        with pytest.raises(ScenarioSpecError):
+            optimize_placement(profile, mode="bogus")
+        with pytest.raises(ScenarioSpecError):
+            optimize_placement(profile, budget=0)
+
+    def test_hoopfree_distribution_has_zero_hoop_cost(self):
+        profile = AccessProfile(writes={(0, "x"): 1, (1, "x"): 1,
+                                        (2, "y"): 1, (3, "y"): 1})
+        dist = profile.minimal_distribution()
+        assert placement_cost(dist, profile, "hoops") == 0.0
+        assert placement_cost(dist, profile, "hoops", exact=True) == 0.0
+
+    def test_predicted_overhead_keys(self):
+        profile = chain_profile()
+        overhead = predicted_overhead(profile.minimal_distribution(), profile)
+        assert set(overhead) == {"messages", "relevant_total", "hoop_processes",
+                                 "replicas", "average_relevance_fraction"}
+        # the chain has hoops, so some process is relevant beyond its clique
+        assert overhead["hoop_processes"] > 0
+
+
+class TestExactSearch:
+    def test_breaks_the_figure2_hoop(self):
+        profile = chain_profile()
+        minimal = profile.minimal_distribution()
+        share = ShareGraph(minimal)
+        assert share.hoop_processes("x"), "fixture must start with a hoop"
+        result = optimize_placement(profile, "hoops", mode="exact")
+        assert result.mode == "exact"
+        assert result.cost < result.minimal_cost
+        placed_share = ShareGraph(result.distribution)
+        assert not placed_share.hoop_processes("x")
+
+    def test_placement_always_admissible(self):
+        profile = chain_profile()
+        result = optimize_placement(profile, "control", mode="exact")
+        for var in result.distribution.variables:
+            assert profile.accessors(var) <= result.distribution.holders(var)
+
+    def test_auto_picks_exact_for_small_systems(self):
+        result = optimize_placement(chain_profile(), "control")
+        assert result.mode == "exact"
+
+
+class TestGreedySearch:
+    def test_deterministic_for_fixed_seed(self):
+        profile = synthetic_profile(30, 24, accessors_per_variable=3, seed=7)
+        a = optimize_placement(profile, "control", mode="greedy", seed=3,
+                               budget=40)
+        b = optimize_placement(profile, "control", mode="greedy", seed=3,
+                               budget=40)
+        assert a.distribution == b.distribution
+        assert a.cost == b.cost
+        assert a.added == b.added
+        assert a.evaluations == b.evaluations
+
+    def test_never_worse_than_minimal(self):
+        profile = synthetic_profile(30, 24, accessors_per_variable=3, seed=7)
+        result = optimize_placement(profile, "control", mode="greedy", seed=1,
+                                    budget=40)
+        assert result.cost <= result.minimal_cost
+        assert result.evaluations <= 40
+
+    def test_improvement_metric(self):
+        profile = chain_profile()
+        result = optimize_placement(profile, "hoops", mode="exact")
+        assert result.improvement() > 0.0

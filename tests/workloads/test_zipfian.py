@@ -1,0 +1,87 @@
+"""Unit tests for the Zipf-skewed hot-key workload generator."""
+
+import collections
+
+import pytest
+
+from repro.exceptions import ScenarioSpecError
+from repro.workloads.access_patterns import zipfian_access_script
+from repro.workloads.distributions import full_replication, random_distribution
+
+
+class TestShape:
+    def test_operation_count_and_locality(self):
+        dist = random_distribution(5, 6, replicas_per_variable=3, seed=2)
+        script = zipfian_access_script(dist, operations_per_process=7, seed=1)
+        assert len(script) == 7 * 5
+        per_process = collections.Counter(a.process for a in script)
+        assert all(per_process[p] == 7 for p in dist.processes)
+        for access in script:
+            assert dist.holds(access.process, access.variable), \
+                "a process may only touch variables it replicates"
+
+    def test_deterministic_per_seed(self):
+        dist = full_replication(4, 6)
+        a = zipfian_access_script(dist, operations_per_process=10, seed=3)
+        b = zipfian_access_script(dist, operations_per_process=10, seed=3)
+        c = zipfian_access_script(dist, operations_per_process=10, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_registered_with_params(self):
+        from repro.spec import WORKLOAD_REGISTRY
+
+        component = WORKLOAD_REGISTRY.get("zipfian")
+        assert set(component.params) == {"operations_per_process",
+                                         "write_fraction", "skew",
+                                         "hot_migration_every"}
+
+
+class TestSkew:
+    def test_high_skew_concentrates_on_the_hot_variable(self):
+        dist = full_replication(4, 8)
+        script = zipfian_access_script(dist, operations_per_process=50,
+                                       skew=3.0, seed=0)
+        counts = collections.Counter(a.variable for a in script)
+        hot = counts.most_common(1)[0]
+        assert hot[0] == "x0"  # rank 0 for every process
+        assert hot[1] > len(script) / 2
+
+    def test_zero_skew_spreads_accesses(self):
+        dist = full_replication(4, 8)
+        script = zipfian_access_script(dist, operations_per_process=50,
+                                       skew=0.0, seed=0)
+        counts = collections.Counter(a.variable for a in script)
+        assert len(counts) == 8
+        assert counts.most_common(1)[0][1] < len(script) / 2
+
+
+class TestHotMigration:
+    def test_migration_moves_the_hot_spot(self):
+        dist = full_replication(3, 6)
+        script = zipfian_access_script(dist, operations_per_process=40,
+                                       skew=3.0, hot_migration_every=30,
+                                       seed=1)
+        first = collections.Counter(a.variable for a in script[:30])
+        later = collections.Counter(a.variable for a in script[60:90])
+        assert first.most_common(1)[0][0] != later.most_common(1)[0][0]
+
+    def test_zero_means_no_migration(self):
+        dist = full_replication(3, 6)
+        script = zipfian_access_script(dist, operations_per_process=40,
+                                       skew=3.0, hot_migration_every=0,
+                                       seed=1)
+        counts = collections.Counter(a.variable for a in script)
+        assert counts.most_common(1)[0][0] == "x0"
+
+
+class TestValidation:
+    def test_negative_skew_rejected(self):
+        dist = full_replication(2, 2)
+        with pytest.raises(ScenarioSpecError):
+            zipfian_access_script(dist, skew=-1.0)
+
+    def test_negative_migration_rejected(self):
+        dist = full_replication(2, 2)
+        with pytest.raises(ScenarioSpecError):
+            zipfian_access_script(dist, hot_migration_every=-1)

@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-checkers bench-checkers-baseline bench-streaming bench-apps bench-apps-baseline bench-efficiency bench-efficiency-baseline experiments experiments-smoke faults apps hunt-smoke serve-smoke place-smoke clean-cache
+.PHONY: test lint bench bench-checkers bench-checkers-baseline bench-streaming bench-apps bench-apps-baseline bench-efficiency bench-efficiency-baseline bench-scale bench-scale-baseline experiments experiments-smoke faults apps hunt-smoke serve-smoke place-smoke clean-cache
 
 # Tier-1 verification (the command ROADMAP.md records).
 test:
@@ -77,6 +77,23 @@ bench-efficiency:
 # Re-measure and commit a new efficiency baseline (after a deliberate change).
 bench-efficiency-baseline:
 	$(PYTHON) benchmarks/check_regression.py --update-efficiency
+
+# Scale gate: the arena engine's 10^4/10^5-op tiers.  Records a pram_partial
+# session through the struct-of-arrays engine, checks causal consistency
+# exactly on the integer columns, and gates (a) the arena's 10^5-tier
+# throughput at >=10x the object engine's reference ops/sec (unconditional),
+# (b) tier wall-clocks calibration-normalised against
+# benchmarks/scale_baseline.json (>3x fails; single-shot tiers are noisier
+# than the median-of-3 small runs), and (c) tracemalloc peaks (>2x fails).
+# Set BENCH_SCALE_FULL=1 to also run the 10^6-op tier (minutes, informational
+# until a baseline entry exists).
+bench-scale:
+	$(PYTHON) -m pytest benchmarks/test_bench_scale.py --benchmark-only -q
+	$(PYTHON) benchmarks/check_regression.py --scale
+
+# Re-measure and commit a new scale baseline (after a deliberate change).
+bench-scale-baseline:
+	$(PYTHON) benchmarks/check_regression.py --update-scale
 
 # One-scenario end-to-end check of the experiment orchestrator.
 experiments-smoke:

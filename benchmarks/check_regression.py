@@ -45,15 +45,28 @@ Usage::
     python benchmarks/check_regression.py --update-apps  # new apps baseline
     python benchmarks/check_regression.py --efficiency   # placement gate only
     python benchmarks/check_regression.py --update-efficiency
+    python benchmarks/check_regression.py --scale    # arena scale tier only
+    BENCH_SCALE_FULL=1 python benchmarks/check_regression.py --scale  # + 10^6
+    python benchmarks/check_regression.py --update-scale
+
+The scale gate (``--scale`` / ``make bench-scale``) runs the arena engine
+end-to-end (simulate + record + exact causal check) at 10^4 and 10^5
+operations — plus 10^6 under ``BENCH_SCALE_FULL=1`` — tracking ops/sec and
+tracemalloc peak memory per tier against ``scale_baseline.json``, and fails
+unless the 10^5-op tier sustains at least ``SCALE_SPEEDUP_FLOOR`` times the
+object engine's throughput at its own feasible reference size (where the
+object engine is *fastest* — its cost grows superlinearly, so the measured
+speedup is a lower bound on the true 10^5 ratio).
 
 Run via ``make bench-checkers`` / ``make bench-streaming`` /
-``make bench-apps`` / ``make bench-efficiency`` /
+``make bench-apps`` / ``make bench-efficiency`` / ``make bench-scale`` /
 ``make bench-checkers-baseline`` / ``make bench-apps-baseline`` /
-``make bench-efficiency-baseline``.
+``make bench-efficiency-baseline`` / ``make bench-scale-baseline``.
 """
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -64,6 +77,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 BASELINE_PATH = Path(__file__).with_name("checkers_baseline.json")
 APPS_BASELINE_PATH = Path(__file__).with_name("apps_baseline.json")
 EFFICIENCY_BASELINE_PATH = Path(__file__).with_name("efficiency_baseline.json")
+SCALE_BASELINE_PATH = Path(__file__).with_name("scale_baseline.json")
 TOLERANCE = 2.0
 #: Timings under this many milliseconds are timer-granularity/warm-up noise
 #: that does not cancel against the ~10 ms calibration loop; they are
@@ -399,6 +413,172 @@ def check_efficiency(measured: dict) -> int:
     return 0
 
 
+#: Scale-tier sizes the arena engine must sustain end-to-end (simulate +
+#: record + exact causal check).  The 10^6 tier only runs under
+#: ``BENCH_SCALE_FULL=1`` — it takes minutes by design.
+SCALE_TIERS = (10_000, 100_000)
+SCALE_FULL_TIER = 1_000_000
+#: The arena engine must sustain at least this many times the object
+#: engine's throughput on the 10^5-op tier (the issue's acceptance floor).
+SCALE_SPEEDUP_FLOOR = 10.0
+#: Largest history the object engine checks exactly in seconds, not minutes
+#: (its cost grows superlinearly, so its throughput here *overstates* what it
+#: would sustain at 10^5 ops — the speedup gate is a conservative lower
+#: bound).
+SCALE_OBJECT_REFERENCE_OPS = 400
+#: Wall-clock gate for the big single-shot tiers; wider than ``TOLERANCE``
+#: because they are measured once (repeating a minute-long run triples CI
+#: time for noise we do not act on — the gate targets order-of-magnitude
+#: regressions, the speedup floor carries the precise claim).
+SCALE_TOLERANCE = 3.0
+SCALE_REPEATS = 3
+#: The seeded scale workload (fully deterministic, so verdicts and operation
+#: counts double as structural drift checks).
+SCALE_PROCESSES = 4
+
+
+def _scale_session(engine: str, total_ops: int):
+    """One end-to-end scale run: simulate, record, exact causal check."""
+    from repro.api import Session
+
+    return Session(
+        protocol="pram_partial",
+        distribution=("random", {"processes": SCALE_PROCESSES, "variables": 8,
+                                 "replicas_per_variable": 2, "seed": 3}),
+        workload=("uniform", {
+            "operations_per_process": total_ops // SCALE_PROCESSES,
+            "write_fraction": 0.4,
+        }),
+        seed=3,
+        criteria=("causal",),
+        exact=True,
+        engine=engine,
+    )
+
+
+def _scale_run(engine: str, total_ops: int) -> dict:
+    """Run one tier; returns wall ms, ops/sec and tracemalloc peak MB."""
+    import tracemalloc
+
+    tracemalloc.start()
+    started = time.perf_counter()
+    report = _scale_session(engine, total_ops).run()
+    elapsed = time.perf_counter() - started
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    if report.consistent is not True:
+        raise SystemExit(
+            f"scale workload inconsistent under {engine} at {total_ops} ops; "
+            "the seeded workload or a protocol drifted — fix before re-baselining"
+        )
+    executed = report.operations_executed
+    if executed != total_ops:
+        raise SystemExit(
+            f"scale workload executed {executed} ops, expected {total_ops}; "
+            "the workload generator drifted — fix before re-baselining"
+        )
+    return {
+        "ms": round(elapsed * 1e3, 1),
+        "ops_per_s": round(executed / elapsed, 1),
+        "peak_mb": round(peak / 1e6, 1),
+    }
+
+
+def measure_scale(full: bool = False) -> dict:
+    """The arena scale tier: ops/sec + peak traced memory per history size.
+
+    Runs the arena engine end-to-end at every tier (the smallest tier and
+    the object reference are medians of ``SCALE_REPEATS``; the minute-long
+    tiers run once), plus the object engine at its feasible reference size.
+    """
+    measured = {"calibration_ms": round(_calibration_sample() * 1e3, 3)}
+
+    samples = [_scale_run("object", SCALE_OBJECT_REFERENCE_OPS)
+               for _ in range(SCALE_REPEATS)]
+    reference = sorted(samples, key=lambda s: s["ms"])[len(samples) // 2]
+    measured["scale_object_ref_ops"] = SCALE_OBJECT_REFERENCE_OPS
+    measured["scale_object_ref_ms"] = reference["ms"]
+    measured["scale_object_ref_ops_per_s"] = reference["ops_per_s"]
+
+    tiers = SCALE_TIERS + ((SCALE_FULL_TIER,) if full else ())
+    for tier in tiers:
+        if tier <= SCALE_TIERS[0]:
+            samples = [_scale_run("arena", tier) for _ in range(SCALE_REPEATS)]
+            run = sorted(samples, key=lambda s: s["ms"])[len(samples) // 2]
+        else:
+            run = _scale_run("arena", tier)
+        measured[f"scale_arena_{tier}_ms"] = run["ms"]
+        measured[f"scale_arena_{tier}_ops_per_s"] = run["ops_per_s"]
+        measured[f"scale_arena_{tier}_peak_mb"] = run["peak_mb"]
+    measured["scale_speedup_100k"] = round(
+        measured["scale_arena_100000_ops_per_s"]
+        / measured["scale_object_ref_ops_per_s"], 1
+    )
+    return measured
+
+
+def check_scale(measured: dict) -> int:
+    """The scale gate: speedup floor + calibration-normalised regressions."""
+    for key, value in sorted(measured.items()):
+        print(f"{key}: {value}")
+    failures = []
+    speedup = measured["scale_speedup_100k"]
+    # The acceptance invariant gates unconditionally (no baseline needed):
+    # the arena engine must sustain a 10^5-op history end-to-end at >= 10x
+    # the object engine's (small-tier, i.e. flattering) throughput.
+    if speedup < SCALE_SPEEDUP_FLOOR:
+        failures.append(
+            f"scale_speedup_100k: arena sustained only {speedup}x the object "
+            f"engine's throughput (floor {SCALE_SPEEDUP_FLOOR}x)"
+        )
+    if not SCALE_BASELINE_PATH.exists():
+        print(f"no baseline at {SCALE_BASELINE_PATH}; run with --update-scale "
+              "first", file=sys.stderr)
+        return 2
+    baseline = json.loads(SCALE_BASELINE_PATH.read_text())
+    reference_cal = baseline.get("calibration_ms") or 1.0
+    current_cal = measured["calibration_ms"]
+    for key, value in sorted(measured.items()):
+        if not key.endswith("_ms") or key == "calibration_ms":
+            continue
+        reference = baseline.get(key)
+        if not reference:
+            if str(SCALE_FULL_TIER) in key:
+                # The 10^6 tier is optional (BENCH_SCALE_FULL=1); a baseline
+                # recorded without it still gates the standard tiers.
+                print(f"{key}: {value} ms (no baseline entry; informational)")
+            else:
+                failures.append(f"baseline misses {key}")
+            continue
+        ratio = (value / current_cal) / (reference / reference_cal)
+        status = "ok" if ratio <= SCALE_TOLERANCE else "REGRESSION"
+        print(f"{key}: {value} ms vs baseline {reference} ms "
+              f"({ratio:.2f}x normalised) {status}")
+        if ratio > SCALE_TOLERANCE:
+            failures.append(
+                f"{key}: {ratio:.2f}x slower than baseline "
+                f"(limit {SCALE_TOLERANCE}x)"
+            )
+    for key, value in sorted(measured.items()):
+        if not key.endswith("_peak_mb"):
+            continue
+        reference = baseline.get(key)
+        if reference and value > reference * TOLERANCE:
+            failures.append(
+                f"{key}: {value} MB vs baseline {reference} MB "
+                f"(limit {TOLERANCE}x) — the engine's memory profile regressed"
+            )
+    if failures:
+        print("\nscale benchmark gate failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\narena engine sustained the 10^5-op tier at {speedup}x the "
+          f"object engine's throughput (floor {SCALE_SPEEDUP_FLOOR}x), "
+          "within tolerance of the committed baseline")
+    return 0
+
+
 def _calibration_sample() -> float:
     """One timing of a fixed pure-Python loop, in seconds.
 
@@ -475,7 +655,28 @@ def main(argv=None) -> int:
     parser.add_argument("--update-efficiency", action="store_true",
                         help="re-measure and rewrite the efficiency baseline "
                              "JSON")
+    parser.add_argument("--scale", action="store_true",
+                        help="run only the arena scale gate (10^4/10^5 ops "
+                             "end-to-end; add the 10^6 tier with "
+                             "BENCH_SCALE_FULL=1)")
+    parser.add_argument("--update-scale", action="store_true",
+                        help="re-measure and rewrite the scale baseline JSON")
     args = parser.parse_args(argv)
+
+    scale_full = os.environ.get("BENCH_SCALE_FULL") == "1"
+
+    if args.update_scale:
+        measured = measure_scale(full=scale_full)
+        SCALE_BASELINE_PATH.write_text(
+            json.dumps(measured, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"scale baseline updated: {SCALE_BASELINE_PATH}")
+        for key, value in sorted(measured.items()):
+            print(f"  {key}: {value}")
+        return 0
+
+    if args.scale:
+        return check_scale(measure_scale(full=scale_full))
 
     if args.update_efficiency:
         measured = measure_efficiency()

@@ -318,6 +318,17 @@ class Session:
         grows with the length of the run's *read* stream (the recorder still
         keeps the write table it needs to resolve read sources, so it grows
         with the number of distinct writes only).
+    engine:
+        ``"object"`` (default) records per-operation
+        :class:`~repro.core.operations.Operation` objects and streams them
+        through the incremental checkers; ``"arena"`` records the run into a
+        columnar :class:`~repro.arena.store.OpArena` and checks it with
+        :class:`~repro.arena.check.ArenaBatchChecker` — same verdicts,
+        violations and witness keys (the cross-engine equivalence suite
+        enforces it), at a fraction of the per-operation cost.  With the
+        default finalize policy an arena run allocates no per-op objects at
+        all; a periodic or fail-fast policy on an application run subscribes
+        the checking listener and pays object materialisation only then.
     pool:
         Optional worker pool forwarded to per-process checkers at finalize.
     trace_out:
@@ -345,6 +356,7 @@ class Session:
         check_policy: Union[CheckPolicy, str, None] = None,
         exact: bool = True,
         keep_history: bool = True,
+        engine: str = "object",
         network: Optional[NetworkLike] = None,
         latency: Optional[LatencyModel] = None,
         fifo: bool = True,
@@ -375,8 +387,13 @@ class Session:
             raise SessionError(
                 "an app brings its own distribution; don't pass one"
             )
+        if engine not in ("object", "arena"):
+            raise SessionError(
+                f"engine must be 'object' or 'arena', got {engine!r}"
+            )
         self.protocol = component.name
         self.seed = seed
+        self.engine = engine
         self.policy = CheckPolicy.parse(check_policy)
         self.exact = exact
         self.keep_history = keep_history
@@ -408,7 +425,12 @@ class Session:
             self.script = self._resolve_workload(workload)
         model, fifo = self._resolve_network(network, latency, fifo)
         self.network_model = model
-        self.recorder = HistoryRecorder(keep_history=keep_history)
+        if engine == "arena":
+            from ..arena.recorder import ArenaRecorder
+
+            self.recorder: Any = ArenaRecorder(keep_history=keep_history)
+        else:
+            self.recorder = HistoryRecorder(keep_history=keep_history)
         self.system = MCSystem(
             self.distribution,
             protocol=self.protocol,
@@ -421,12 +443,23 @@ class Session:
         self.checkers: Dict[str, IncrementalChecker] = {}
         if check:
             for criterion in self.criteria:
-                checker = incremental_checker(
-                    criterion, exact=exact, bounded=not keep_history
-                )
-                checker.start(universe=tuple(self.distribution.processes))
-                if isinstance(checker, BatchAdapter):
+                if engine == "arena":
+                    from ..arena.check import ArenaBatchChecker
+
+                    checker: IncrementalChecker = ArenaBatchChecker(
+                        criterion,
+                        self.recorder.arena,
+                        exact=exact,
+                        cache=self.recorder.cache,
+                    )
                     checker.set_pool(pool)
+                else:
+                    checker = incremental_checker(
+                        criterion, exact=exact, bounded=not keep_history
+                    )
+                    if isinstance(checker, BatchAdapter):
+                        checker.set_pool(pool)
+                checker.start(universe=tuple(self.distribution.processes))
                 self.checkers[criterion] = checker
         self._ran = False
 
@@ -463,6 +496,7 @@ class Session:
             check_policy=spec.check.policy,
             exact=spec.check.exact,
             keep_history=keep_history,
+            engine=spec.engine,
             network=spec.network,
             pool=pool,
             settle_every=settle_every,
@@ -614,7 +648,16 @@ class Session:
         def collect_trace(op: Operation, source: Optional[Operation]) -> None:
             trace_log.append((op, source))
 
-        if self.checkers:
+        # The arena engine's feed is a no-op (the shared arena *is* the
+        # stream), so subscribing the listener would only force per-op
+        # object materialisation; it is needed solely when an application
+        # run must be checked (and possibly aborted) mid-flight.
+        stream_checks = bool(self.checkers) and (
+            self.engine != "arena"
+            or (app_mode and (self.policy.fail_fast or self.policy.every > 0
+                              or self.policy.geometric))
+        )
+        if stream_checks:
             self.recorder.subscribe(feed)
         if self._trace_out is not None:
             # Separate listener: the export must see every recorded
@@ -649,13 +692,24 @@ class Session:
                 if not stopped_early:
                     self.system.settle()
         finally:
-            if self.checkers:
+            if stream_checks:
                 self.recorder.unsubscribe(feed)
             if self._trace_out is not None:
                 self.recorder.unsubscribe(collect_trace)
 
         simulator = self.system.simulator
         results = {name: checker.finalize() for name, checker in self.checkers.items()}
+        if not first_violation:
+            # Arena runs skip the feed listener, so the stream monitors ran
+            # inside finalize; surface the earliest hit they recorded, which
+            # is the violation the object session would have noted first.
+            hits = [
+                checker.first_stream_violation
+                for checker in self.checkers.values()
+                if getattr(checker, "first_stream_violation", None) is not None
+            ]
+            if hits:
+                first_violation.append(min(hits)[1])
         stats = self.system.stats
         model = self.network_model
         report = RunReport(

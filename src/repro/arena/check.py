@@ -1,0 +1,918 @@
+"""Batch consistency checking directly over arena columns.
+
+:class:`ArenaBatchChecker` is the arena engine's finalize-time checker.  It
+implements the :class:`~repro.core.consistency.incremental.IncrementalChecker`
+protocol so :class:`repro.api.Session` can treat it like any other checker,
+but it never observes per-operation ``Operation`` objects: the
+:class:`~repro.arena.store.OpArena` it shares with the
+:class:`~repro.arena.recorder.ArenaRecorder` *is* the fed stream.
+
+Two evaluation modes:
+
+**Materialise** (small histories, or criteria without a columnar path).
+    The arena is materialised in recording order and replayed through the
+    exact object pipeline
+    (:func:`~repro.core.consistency.incremental.incremental_checker`), so
+    verdicts, violations, witnesses and summaries are *bit-identical* with
+    the object engine — the equivalence guarantee of ``Session(engine=...)``.
+    Used whenever the history has at most ``materialize_max`` operations,
+    the criterion has no columnar implementation, or a read's source row
+    does not precede it (only adapter-built arenas can violate that).
+
+**Columnar** (``causal`` / ``pram`` at scale).
+    Monitors, bad-pattern checks and witness construction run over the int
+    columns:
+
+    * The stream monitors of
+      :class:`~repro.core.consistency.incremental.StreamMonitors` are
+      replicated verbatim over rows (same messages, same order).
+    * For **pram**, reachability inside the view ``H_{p+w}`` of the
+      restricted :func:`~repro.core.orders.pram_generating_order` graph
+      (p's chain + per-process write chains + read-from into p's reads) is
+      answered by per-writer suffix minima over the read-from pairs — each
+      bad-pattern query costs ``O(log)``.
+    * For **causal**, two vector-clock sweeps (operation counts and write
+      counts per process) answer ``a -> b`` in O(1) and give every view's
+      generating-predecessor *counts*, so the greedy witness construction
+      schedules by advancing per-process prefix pointers — no per-view
+      graph is ever built.
+
+    Witness schedules are linear extensions of the restricted relation by
+    construction and verified legal columnarly; if the greedy schedule of
+    any view is illegal (the greedy search is incomplete), the checker
+    falls back to the materialised object pipeline for an exact answer.
+    Verdicts are exact either way; witness *identity* with the object
+    engine is only guaranteed in materialise mode.
+
+Witness serializations are materialised only when the history has at most
+``witness_max`` operations — beyond that the verdict is still exact but the
+result carries no serializations (``CheckResult.witness`` then raises).
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.consistency.base import CheckResult
+from ..core.consistency.incremental import (
+    BatchAdapter,
+    IncrementalChecker,
+    incremental_checker,
+)
+from ..core.consistency.registry import all_checkers
+from ..exceptions import UnknownCriterionError
+from . import adapter
+from .store import KIND_WRITE, NO_SOURCE, OpArena
+
+#: Criteria with a columnar fast path; everything else materialises.
+COLUMNAR_CRITERIA = frozenset({"causal", "pram"})
+
+#: At or below this many operations the checker always materialises, which
+#: makes its results bit-identical with the object engine (every committed
+#: suite lives far below this threshold).
+MATERIALIZE_MAX = 4096
+
+#: Above this many operations no witness serializations are materialised.
+WITNESS_MAX = 200_000
+
+_INF = float("inf")
+
+
+def _last_true(n: int, pred) -> int:
+    """Length of the leading all-true run of a monotone (true…false…)
+    predicate over ``range(n)`` — binary search, O(log n) evaluations."""
+    lo, hi = 0, n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if pred(mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class ArenaBatchChecker(IncrementalChecker):
+    """Finalize-time checker evaluating directly over an :class:`OpArena`."""
+
+    def __init__(
+        self,
+        criterion: str,
+        arena: OpArena,
+        *,
+        exact: bool = True,
+        cache: Optional[adapter.OpCache] = None,
+        materialize_max: int = MATERIALIZE_MAX,
+        witness_max: int = WITNESS_MAX,
+    ) -> None:
+        if criterion not in all_checkers():
+            raise UnknownCriterionError(
+                f"unknown consistency criterion {criterion!r}; "
+                f"known: {sorted(all_checkers())}"
+            )
+        self.criterion = criterion
+        self.arena = arena
+        self._exact = exact
+        self._cache: adapter.OpCache = {} if cache is None else cache
+        self._materialize_max = materialize_max
+        self._witness_max = witness_max
+        self._pool: Optional[Any] = None
+        self._universe: Tuple[int, ...] = ()
+        self._finalized: Optional[CheckResult] = None
+        self._violations: List[str] = []
+        self._monitors_taken = 0
+        self._last_monitors: List[str] = []
+        #: Earliest stream-monitor violation, as ``(row, "p{pid}: message")``
+        #: — what the object session would have reported as first violation.
+        self.first_stream_violation: Optional[Tuple[int, str]] = None
+
+    def set_pool(self, pool: Optional[Any]) -> None:
+        """Worker pool forwarded to the materialised pipeline at finalize."""
+        self._pool = pool
+
+    # -- incremental protocol -------------------------------------------------
+    def start(self, universe: Optional[Tuple[int, ...]] = None) -> None:
+        self._universe = tuple(universe or ())
+        self._finalized = None
+        self._violations = []
+        self._monitors_taken = 0
+        self._last_monitors = []
+        self.first_stream_violation = None
+
+    def feed(self, op: Any, read_from: Any = None) -> Optional[CheckResult]:
+        """No-op: the shared arena *is* the stream (the recorder already
+        appended the operation before any listener could run)."""
+        return None
+
+    def check_now(self) -> Optional[CheckResult]:
+        """Bad-pattern sweep over the current arena prefix (monitors + quick).
+
+        Mirrors ``PrefixChecker``'s bookkeeping exactly: monitor hits enter
+        the accumulated violation list verbatim (in feed order, duplicates
+        preserved), quick findings are appended with string dedup, and every
+        inconsistent checkpoint returns the accumulated list — so repeated
+        checkpoints over a growing prefix yield the same strings, in the same
+        order, as the object engine's stream.
+        """
+        result = self._evaluate(exact=False)
+        fresh = self._last_monitors[self._monitors_taken:]
+        self._violations.extend(fresh)
+        self._monitors_taken = len(self._last_monitors)
+        if not result.consistent:
+            for violation in result.violations:
+                if violation not in self._violations:
+                    self._violations.append(violation)
+            return self._result_so_far()
+        return self._result_so_far() if self._violations else None
+
+    def finalize(self) -> CheckResult:
+        if self._finalized is None:
+            if self._violations:
+                # Checkpoint findings exist: close with a polynomial sweep
+                # merged into them, like PrefixChecker._merged_full_violations.
+                result = self._evaluate(exact=False)
+                merged = list(self._violations)
+                for violation in result.violations:
+                    if violation not in merged:
+                        merged.append(violation)
+                self._finalized = CheckResult(
+                    criterion=self.criterion, consistent=False, exact=True,
+                    violations=merged,
+                )
+            else:
+                self._finalized = self._evaluate(exact=self._exact)
+        return self._finalized
+
+    def _result_so_far(self) -> CheckResult:
+        return CheckResult(
+            criterion=self.criterion, consistent=False, exact=True,
+            violations=list(self._violations),
+        )
+
+    @property
+    def ops_fed(self) -> int:
+        return len(self.arena)
+
+    # -- mode selection -------------------------------------------------------
+    def _sources_forward(self) -> bool:
+        """``True`` iff every read's source row precedes the read (always the
+        case for live-recorded arenas; adapter-built ones may differ)."""
+        src = self.arena.numpy_view("source")
+        if src is not None:
+            import numpy as np  # arena.store resolved it already
+
+            n = len(src)
+            return bool(n == 0 or not (src > np.arange(n)).any())
+        source = self.arena.source
+        return all(source[row] <= row for row in range(len(source)))
+
+    def _evaluate(self, exact: bool) -> CheckResult:
+        n = len(self.arena)
+        if (
+            self.criterion in COLUMNAR_CRITERIA
+            and n > self._materialize_max
+            and self._sources_forward()
+        ):
+            return self._columnar_result(exact)
+        return self._materialized_result(exact)
+
+    # -- materialise mode -----------------------------------------------------
+    def _materialized_result(self, exact: bool) -> CheckResult:
+        arena, cache = self.arena, self._cache
+        n = len(arena)
+        inner = incremental_checker(self.criterion, exact=exact, bounded=False)
+        inner.start(self._universe)
+        if isinstance(inner, BatchAdapter) and self._pool is not None:
+            inner.set_pool(self._pool)
+        adapter.materialize_prefix(arena, n, cache)
+        kind, source = arena.kind, arena.source
+        for row in range(n):
+            src = source[row]
+            resolved = (
+                cache[src] if kind[row] != KIND_WRITE and src != NO_SOURCE else None
+            )
+            found = inner.feed(cache[row], resolved)
+            if found is not None and self.first_stream_violation is None:
+                self.first_stream_violation = (row, found.violations[0])
+        # Monitor hits (already "p{pid}: "-prefixed), in feed order — what the
+        # object engine would have accumulated in _violations by this prefix.
+        self._last_monitors = list(inner._violations)
+        return inner.finalize()
+
+    # -- columnar mode --------------------------------------------------------
+    def _view_pids(self) -> List[int]:
+        return sorted(set(self._universe) | set(self.arena.processes))
+
+    def _columnar_result(self, exact: bool) -> CheckResult:
+        monitor_violations = self._columnar_monitors()
+        self._last_monitors = [message for _, message in monitor_violations]
+        if monitor_violations and self.first_stream_violation is None:
+            self.first_stream_violation = monitor_violations[0]
+        # With monitor violations the object pipeline closes with a
+        # polynomial-only sweep (no solve, no witnesses) — mirror that.
+        solve = exact and not monitor_violations
+        if self.criterion == "pram":
+            quick, witnesses, fallback = self._pram_views(solve)
+        else:
+            quick, witnesses, fallback = self._causal_views(solve)
+        if fallback:
+            # Greedy could not order some quick-clean view: fall back to the
+            # exact materialised pipeline (rare; verdict stays exact).
+            return self._materialized_result(exact)
+        if monitor_violations:
+            merged = [message for _, message in monitor_violations]
+            for violation in quick:
+                if violation not in merged:
+                    merged.append(violation)
+            return CheckResult(
+                criterion=self.criterion, consistent=False, exact=True,
+                violations=merged,
+            )
+        serializations: Dict[int, List[Any]] = {}
+        if witnesses and len(self.arena) <= self._witness_max:
+            adapter.materialize_prefix(self.arena, len(self.arena), self._cache)
+            cache = self._cache
+            serializations = {
+                pid: [cache[row] for row in schedule]
+                for pid, schedule in witnesses.items()
+            }
+        if quick:
+            return CheckResult(
+                criterion=self.criterion, consistent=False, exact=True,
+                violations=list(quick), serializations=serializations,
+            )
+        if not exact:
+            return CheckResult(criterion=self.criterion, consistent=True, exact=False)
+        return CheckResult(
+            criterion=self.criterion, consistent=True, exact=True,
+            serializations=serializations,
+        )
+
+    def _columnar_monitors(self) -> List[Tuple[int, str]]:
+        """Row-level replica of ``StreamMonitors.observe`` + the ``p{pid}:``
+        prefix of ``PrefixChecker.feed`` (real-time monitoring is only used
+        by the atomic criterion, which has no columnar path)."""
+        arena = self.arena
+        kind, proc, var, index, source = (
+            arena.kind, arena.proc, arena.var, arena.index, arena.source,
+        )
+        observed: Dict[Tuple[int, int], Dict[int, int]] = {}
+        out: List[Tuple[int, str]] = []
+        for row in range(len(kind)):
+            p = proc[row]
+            v = var[row]
+            frontier = observed.setdefault((p, v), {})
+            if kind[row] == KIND_WRITE:
+                if index[row] > frontier.get(p, -1):
+                    frontier[p] = index[row]
+                continue
+            src = source[row]
+            if src == NO_SOURCE:
+                if frontier:
+                    out.append((row, (
+                        f"p{p}: {arena.label(row)} returns ⊥ after p{p} already "
+                        f"observed a write on {arena.var_name(v)}"
+                    )))
+                continue
+            sp = proc[src]
+            si = index[src]
+            seen = frontier.get(sp, -1)
+            if si < seen:
+                out.append((row, (
+                    f"p{p}: {arena.label(row)} reads write #{si} of "
+                    f"p{sp} on {arena.var_name(v)} after p{p} "
+                    f"already observed write #{seen} of the same process"
+                )))
+            if si > seen:
+                frontier[sp] = si
+        return out
+
+    def _write_po_lists(self) -> Dict[Tuple[int, int], Tuple[List[int], Sequence[int]]]:
+        """(process, variable id) -> (program indices, rows) of its writes."""
+        arena = self.arena
+        index = arena.index
+        lists: Dict[Tuple[int, int], Tuple[List[int], Sequence[int]]] = {}
+        for p in arena.processes:
+            for v in sorted(set(arena.var[row] for row in arena.write_rows_of(p))):
+                rows = arena.write_rows_on(p, v)
+                lists[(p, v)] = ([index[row] for row in rows], rows)
+        return lists
+
+    # -- pram columnar --------------------------------------------------------
+    def _pram_views(
+        self, solve: bool
+    ) -> Tuple[List[str], Dict[int, List[int]], bool]:
+        arena = self.arena
+        kind, proc, var, index, source = (
+            arena.kind, arena.proc, arena.var, arena.index, arena.source,
+        )
+        pids = self._view_pids()
+        wl = self._write_po_lists()
+        write_ordinal = self._write_ordinals()
+        violations: List[str] = []
+        witnesses: Dict[int, List[int]] = {}
+
+        for p in pids:
+            own = arena.rows_of(p)
+            # read-from pairs grouped by source process, as (po_src, po_read)
+            pairs: Dict[int, List[Tuple[int, int]]] = {}
+            for r in own:
+                if kind[r] == KIND_WRITE:
+                    continue
+                s = source[r]
+                if s != NO_SOURCE:
+                    pairs.setdefault(proc[s], []).append((index[s], index[r]))
+            sufmin: Dict[int, Tuple[List[int], List[int]]] = {}
+            for q, qpairs in pairs.items():
+                qpairs.sort()
+                pos = [po for po, _ in qpairs]
+                mins = [0] * len(qpairs)
+                best = _INF
+                for i in range(len(qpairs) - 1, -1, -1):
+                    if qpairs[i][1] < best:
+                        best = qpairs[i][1]
+                    mins[i] = best
+                sufmin[q] = (pos, mins)
+
+            def reach_from(q: int, po_write: int) -> float:
+                """Min program index of a p-op reachable from the q-write at
+                ``po_write`` through the restricted pram graph (inf if none)."""
+                entry = sufmin.get(q)
+                if entry is None:
+                    return _INF
+                pos, mins = entry
+                i = bisect_left(pos, po_write)
+                return mins[i] if i < len(pos) else _INF
+
+            view_violations: List[str] = []
+            for r in own:
+                if kind[r] == KIND_WRITE:
+                    continue
+                po_r = index[r]
+                v = var[r]
+                s = source[r]
+                if s == NO_SOURCE:
+                    # ⊥-read: one violation per view write on v preceding it.
+                    # For q != p the precedence predicate is monotone in the
+                    # write's program index, so the matches are a prefix.
+                    for q in arena.writers_of(v):
+                        po_list, row_list = wl[(q, v)]
+                        if q == p:
+                            hi = bisect_left(po_list, po_r)
+                        else:
+                            hi = _last_true(
+                                len(po_list),
+                                lambda i, q=q, pl=po_list: reach_from(q, pl[i]) <= po_r,
+                            )
+                        for row in row_list[:hi]:
+                            view_violations.append(
+                                f"{arena.label(r)} returns ⊥ but "
+                                f"{arena.label(row)} precedes it"
+                            )
+                    continue
+                qw = proc[s]
+                po_w = index[s]
+                # Forced-between: one violation per view write w on v with
+                # writer -> w -> read.  Only p-writes and later qw-writes can
+                # qualify (nothing else is reachable from the writer), and
+                # both predicates are monotone, so each group is a po-range.
+                for q in arena.writers_of(v):
+                    if q != p and q != qw:
+                        continue
+                    po_list, row_list = wl[(q, v)]
+                    if q == p:
+                        lo_po = po_w if qw == p else reach_from(qw, po_w) - 1
+                        lo = bisect_right(po_list, lo_po)
+                        hi = bisect_left(po_list, po_r)
+                    else:  # q == qw != p: later writes of the writer itself
+                        lo = bisect_right(po_list, po_w)
+                        hi = _last_true(
+                            len(po_list),
+                            lambda i, pl=po_list: reach_from(qw, pl[i]) <= po_r,
+                        )
+                    for row in row_list[lo:hi]:
+                        if row == s:
+                            continue
+                        view_violations.append(
+                            f"{arena.label(row)} is forced between "
+                            f"{arena.label(s)} and {arena.label(r)}"
+                        )
+            if view_violations:
+                violations.extend(f"p{p}: {v}" for v in view_violations)
+            elif solve:
+                schedule = self._pram_schedule(p, pids, write_ordinal)
+                if schedule is None:
+                    return violations, {}, True
+                witnesses[p] = schedule
+        return violations, witnesses, False
+
+    def _write_ordinals(self) -> Dict[int, int]:
+        """Write row -> per-process write ordinal."""
+        ordinals: Dict[int, int] = {}
+        for p in self.arena.processes:
+            for i, row in enumerate(self.arena.write_rows_of(p)):
+                ordinals[row] = i
+        return ordinals
+
+    def _pram_schedule(
+        self, p: int, pids: List[int], write_ordinal: Dict[int, int]
+    ) -> Optional[List[int]]:
+        """Eager linear extension of the restricted pram graph for view p.
+
+        A chain write's *direct* deadline is the program position of the
+        first own read that demands it (directly or, via chain order, a
+        successor); see :meth:`_eager` for how deadlines are adjusted and
+        enforced.  A read's own-op prerequisite is its source chain having
+        advanced past the source write.
+        """
+        arena = self.arena
+        kind, index, source = arena.kind, arena.index, arena.source
+        own = arena.rows_of(p)
+        # Direct deadlines: walking own reads in program order, the first
+        # read demanding chain q past ordinal k is write k's deadline.
+        direct: Dict[int, List[float]] = {
+            q: [_INF] * len(arena.write_rows_of(q)) for q in pids if q != p
+        }
+        filled: Dict[int, int] = {q: 0 for q in direct}
+        for r in own:
+            if kind[r] == KIND_WRITE:
+                continue
+            s = source[r]
+            if s == NO_SOURCE or arena.proc[s] == p:
+                continue
+            q = arena.proc[s]
+            dq = direct[q]
+            po = index[r]
+            for k in range(filled[q], write_ordinal[s] + 1):
+                dq[k] = po
+            filled[q] = max(filled[q], write_ordinal[s] + 1)
+
+        def own_ready(r: int, ptr: Dict[int, int]) -> bool:
+            if kind[r] == KIND_WRITE:
+                return True
+            s = source[r]
+            if s == NO_SOURCE:
+                return True
+            q = arena.proc[s]
+            return q == p or ptr[q] > write_ordinal[s]
+
+        return self._eager(p, pids, own, own_ready, direct, lambda w: ())
+
+    # -- causal columnar ------------------------------------------------------
+    def _causal_vcs(
+        self, pids: List[int]
+    ) -> Tuple[array, array, Dict[int, int]]:
+        """Two vector-clock sweeps over the generating DAG (row order is a
+        topological order because sources precede their reads).
+
+        ``vc[row*P + j]``  = number of ``pids[j]``-operations causally ≤ row.
+        ``wvc[row*P + j]`` = number of ``pids[j]``-writes causally ≤ row.
+        """
+        arena = self.arena
+        kind, proc, index, source = arena.kind, arena.proc, arena.index, arena.source
+        n = len(kind)
+        P = len(pids)
+        pidx = {pid: j for j, pid in enumerate(pids)}
+        vc = array("i", bytes(4 * n * P))
+        wvc = array("i", bytes(4 * n * P))
+        last: Dict[int, int] = {}
+        wcount: Dict[int, int] = {}
+        for row in range(n):
+            p = proc[row]
+            base = row * P
+            prev = last.get(p)
+            if prev is not None:
+                pb = prev * P
+                vc[base:base + P] = vc[pb:pb + P]
+                wvc[base:base + P] = wvc[pb:pb + P]
+            if kind[row] == KIND_WRITE:
+                w = wcount.get(p, 0) + 1
+                wcount[p] = w
+                wvc[base + pidx[p]] = w
+            else:
+                s = source[row]
+                if s != NO_SOURCE:
+                    sb = s * P
+                    for j in range(P):
+                        x = vc[sb + j]
+                        if x > vc[base + j]:
+                            vc[base + j] = x
+                        x = wvc[sb + j]
+                        if x > wvc[base + j]:
+                            wvc[base + j] = x
+            vc[base + pidx[p]] = index[row] + 1
+            last[p] = row
+        return vc, wvc, pidx
+
+    def _causal_views(
+        self, solve: bool
+    ) -> Tuple[List[str], Dict[int, List[int]], bool]:
+        arena = self.arena
+        kind, proc, var, index, source = (
+            arena.kind, arena.proc, arena.var, arena.index, arena.source,
+        )
+        pids = self._view_pids()
+        P = len(pids)
+        vc, wvc, pidx = self._causal_vcs(pids)
+        wl = self._write_po_lists()
+        violations: List[str] = []
+        witnesses: Dict[int, List[int]] = {}
+
+        for p in pids:
+            jp = pidx[p]
+            view_violations: List[str] = []
+            for r in arena.rows_of(p):
+                if kind[r] == KIND_WRITE:
+                    continue
+                base = r * P
+                v = var[r]
+                s = source[r]
+                if s == NO_SOURCE:
+                    # ⊥-read: one violation per view write causally before it
+                    # (the causal past meets each process' writes in a prefix).
+                    for q in arena.writers_of(v):
+                        po_list, row_list = wl[(q, v)]
+                        hi = bisect_left(po_list, vc[base + pidx[q]])
+                        for row in row_list[:hi]:
+                            view_violations.append(
+                                f"{arena.label(r)} returns ⊥ but "
+                                f"{arena.label(row)} precedes it"
+                            )
+                    continue
+                if index[r] < vc[s * P + jp]:
+                    view_violations.append(
+                        f"{arena.label(r)} is constrained to precede its "
+                        f"writer {arena.label(s)}"
+                    )
+                qw = proc[s]
+                jw = pidx[qw]
+                iw = index[s]
+                # Forced-between: writes w on v with writer -> w -> read.
+                # "w -> read" holds for a prefix of each process' writes,
+                # "writer -> w" for a suffix (vector clocks grow along
+                # program order), so the matches form a po-range per process.
+                for q in arena.writers_of(v):
+                    po_list, row_list = wl[(q, v)]
+                    hi = bisect_left(po_list, vc[base + pidx[q]])
+                    lo = _last_true(
+                        hi,
+                        lambda i, rl=row_list: iw >= vc[rl[i] * P + jw],
+                    )
+                    for row in row_list[lo:hi]:
+                        if row == s:
+                            continue
+                        view_violations.append(
+                            f"{arena.label(row)} is forced between "
+                            f"{arena.label(s)} and {arena.label(r)}"
+                        )
+            if view_violations:
+                violations.extend(f"p{p}: {v}" for v in view_violations)
+            elif solve:
+                schedule = self._causal_schedule(p, pids, pidx, vc, wvc)
+                if schedule is None:
+                    return violations, {}, True
+                witnesses[p] = schedule
+        return violations, witnesses, False
+
+    def _causal_schedule(
+        self,
+        p: int,
+        pids: List[int],
+        pidx: Dict[int, int],
+        vc: array,
+        wvc: array,
+    ) -> Optional[List[int]]:
+        """Lazy linear extension of the restricted causal order for view p.
+
+        Every causal past meets each process in a program-order prefix, so
+        a member's causal prerequisites are per-process *counts* read
+        straight out of the vector clocks — no per-view graph is built.
+        Direct deadlines come from the demanded write counts along the
+        view's own operations; cross-chain write prerequisites are pulled
+        through ``pull_targets``.
+        """
+        arena = self.arena
+        kind = arena.kind
+        P = len(pids)
+        own = arena.rows_of(p)
+        n_own = len(own)
+
+        def own_ready(r: int, ptr: Dict[int, int]) -> bool:
+            if kind[r] == KIND_WRITE:
+                return True  # adds nothing beyond its (already emitted) chain pred
+            base = r * P
+            for q in pids:
+                if q != p and ptr[q] < wvc[base + pidx[q]]:
+                    return False
+            return True
+
+        proc = arena.proc
+
+        # Direct deadlines: own program order makes the demanded write
+        # counts (wvc along own ops) non-decreasing, so one forward walk
+        # fills each chain write's first demanding own position.
+        direct: Dict[int, List[float]] = {
+            q: [_INF] * len(arena.write_rows_of(q)) for q in pids if q != p
+        }
+        filled: Dict[int, int] = {q: 0 for q in direct}
+        for t in range(n_own):
+            base = own[t] * P
+            for q in direct:
+                dq = direct[q]
+                need = wvc[base + pidx[q]]
+                for k in range(filled[q], min(need, len(dq))):
+                    dq[k] = t
+                filled[q] = max(filled[q], need)
+
+        def pull_targets(w: int):
+            base = w * P
+            qw = proc[w]
+            return [
+                (g, wvc[base + pidx[g]]) for g in pids if g != p and g != qw
+            ]
+
+        return self._eager(p, pids, own, own_ready, direct, pull_targets)
+
+    # -- shared helpers -------------------------------------------------------
+    def _eager(
+        self,
+        p: int,
+        pids: List[int],
+        own: Sequence[int],
+        own_ready,
+        direct_deadlines: Dict[int, List[float]],
+        pull_targets,
+    ) -> Optional[List[int]]:
+        """Lazy deadline-driven schedule of view p: own operations at their
+        fixed program positions, each remote chain write emitted in the gap
+        right before the own position that is its *adjusted deadline*.
+
+        A chain write's direct deadline (``direct_deadlines``) is the first
+        own position demanding it.  Deadlines cascade two ways:
+
+        * along the chain — a write inherits its successor's deadline
+          (backward running min), and
+        * across *read windows* — every write w read by this view owns a
+          window ``(s, l]`` in own-position coordinates, where ``l`` is w's
+          last own reader and ``s`` is the gap w itself lands in (its own
+          position for own writes, its adjusted deadline for chain writes).
+          A same-variable write due inside the window would overwrite w
+          before its readers are done, so its deadline *snaps* to ``s``.
+
+        Window starts move as deadlines tighten, so deadlines are iterated
+        to a fixpoint (they only decrease; a few rounds suffice).  Emission
+        is then purely mechanical: before own position t, force-emit every
+        chain write due at t — writes whose own window opens at t last, so
+        they end up adjacent to their first reader — pulling cross-chain
+        prerequisites first via ``pull_targets``; undemanded writes drain
+        after the last own operation, where nothing can break.
+
+        The construction respects the restricted relation by design
+        (``own_ready``/``pull_targets`` gate on the members' precedence
+        counts, deadlines never reorder a chain); legality is verified at
+        the end and ``None`` means the caller must fall back to the exact
+        search.
+        """
+        arena = self.arena
+        kind, var, index = arena.kind, arena.var, arena.index
+        chains = [(q, arena.write_rows_of(q)) for q in pids if q != p]
+        chain_rows = dict(chains)
+        n_own = len(own)
+        last_read_of: Dict[int, int] = {}
+        first_read_of: Dict[int, int] = {}
+        for r in own:
+            if kind[r] != KIND_WRITE:
+                s = arena.source[r]
+                if s != NO_SOURCE:
+                    last_read_of[s] = index[r]
+                    first_read_of.setdefault(s, index[r])
+
+        def compute(prev: Optional[Dict[int, List[float]]]) -> Dict[int, List[float]]:
+            # Windows per var: (start gap, last reader, source row), sorted.
+            windows: Dict[int, Tuple[List[float], List[int], List[int]]] = {}
+            for r in own:
+                if kind[r] == KIND_WRITE:
+                    lr = last_read_of.get(r, -1)
+                    if lr > index[r]:
+                        st, en, sr = windows.setdefault(var[r], ([], [], []))
+                        st.append(index[r])
+                        en.append(lr)
+                        sr.append(r)
+            if prev is not None:
+                for q, rows in chains:
+                    adq = prev[q]
+                    for k, row in enumerate(rows):
+                        lr = last_read_of.get(row, -1)
+                        if lr >= 0:
+                            st, en, sr = windows.setdefault(var[row], ([], [], []))
+                            st.append(min(adq[k], first_read_of[row]))
+                            en.append(lr)
+                            sr.append(row)
+            for entry in windows.values():
+                order = sorted(range(len(entry[0])), key=lambda i: entry[0][i])
+                for lst in entry:
+                    lst[:] = [lst[i] for i in order]
+
+            def snap(v: int, d: float, self_row: int) -> float:
+                got = windows.get(v)
+                if got is None or d == _INF:
+                    return d
+                st, en, sr = got
+                i = bisect_left(st, d) - 1
+                if i >= 0 and en[i] >= d and sr[i] != self_row:
+                    return st[i]
+                return d
+
+            # Cross-chain inheritance: a write w' due at d causally pulls
+            # other chains' prefixes (``pull_targets``), so those writes'
+            # deadlines tighten to d as well.
+            effective = direct_deadlines
+            if prev is not None:
+                inc: Dict[int, List[Tuple[int, float]]] = {
+                    q: [] for q, _ in chains
+                }
+                any_inc = False
+                for g, rows in chains:
+                    adg = prev[g]
+                    for k, row in enumerate(rows):
+                        a = adg[k]
+                        if a == _INF:
+                            continue
+                        for h, target in pull_targets(row):
+                            if h != p and target > 0:
+                                inc[h].append((target, a))
+                                any_inc = True
+                if any_inc:
+                    effective = {}
+                    for q, rows in chains:
+                        base = list(direct_deadlines[q])
+                        pairs = sorted(inc[q], key=lambda x: -x[0])
+                        run_in = _INF
+                        i = 0
+                        for k in range(len(base) - 1, -1, -1):
+                            while i < len(pairs) and pairs[i][0] > k:
+                                if pairs[i][1] < run_in:
+                                    run_in = pairs[i][1]
+                                i += 1
+                            if run_in < base[k]:
+                                base[k] = run_in
+                        effective[q] = base
+
+            out: Dict[int, List[float]] = {}
+            for q, rows in chains:
+                dq = effective[q]
+                ad: List[float] = [_INF] * len(rows)
+                run = _INF
+                for k in range(len(rows) - 1, -1, -1):
+                    d = dq[k]
+                    if d < run:
+                        run = d
+                    run = snap(var[rows[k]], run, rows[k])
+                    ad[k] = run
+                out[q] = ad
+            return out
+
+        deadline = compute(None)
+        for _ in range(6):
+            refined = compute(deadline)
+            if refined == deadline:
+                break
+            deadline = refined
+        self._last_deadlines = deadline  # introspection / debugging
+
+        ptr: Dict[int, int] = {q: 0 for q in pids}
+        schedule: List[int] = []
+
+        def force(q: int, target: int) -> bool:
+            stack: List[Tuple[int, int]] = [(q, target)]
+            while stack:
+                g, tg = stack[-1]
+                if ptr[g] >= tg:
+                    stack.pop()
+                    continue
+                if len(stack) > len(chains) + 1:
+                    return False  # circular pull: bail out
+                w = chain_rows[g][ptr[g]]
+                deficit = None
+                for h, th in pull_targets(w):
+                    if h != p and ptr[h] < th:
+                        deficit = (h, th)
+                        break
+                if deficit is not None:
+                    stack.append(deficit)
+                    continue
+                schedule.append(w)
+                ptr[g] += 1
+            return True
+
+        for t in range(n_own):
+            # Gather the due segment of every chain (deadlines are monotone
+            # along a chain, so due writes form a prefix from ptr) and count
+            # due writes per variable.
+            due_end: Dict[int, int] = {}
+            due_vars: Dict[int, int] = {}
+            remaining = 0
+            for q, rows in chains:
+                ad = deadline[q]
+                k = ptr[q]
+                while k < len(rows) and ad[k] <= t:
+                    due_vars[var[rows[k]]] = due_vars.get(var[rows[k]], 0) + 1
+                    k += 1
+                due_end[q] = k
+                remaining += k - ptr[q]
+            # Greedy head emission: a chain head is ready when its causal
+            # prerequisites are met; a head that this view *reads* defers
+            # while another due write of its variable is still pending, so
+            # the source lands last and stays visible to its readers.
+            while remaining:
+                progress = False
+                for q, rows in chains:
+                    while ptr[q] < due_end[q]:
+                        w = rows[ptr[q]]
+                        if w in first_read_of and due_vars.get(var[w], 0) > 1:
+                            break
+                        ready = True
+                        for h, th in pull_targets(w):
+                            if h != p and ptr[h] < th:
+                                ready = False
+                                break
+                        if not ready:
+                            break
+                        schedule.append(w)
+                        ptr[q] += 1
+                        due_vars[var[w]] -= 1
+                        remaining -= 1
+                        progress = True
+                if not progress:
+                    return None  # deferral/prerequisite cycle: bail out
+            r = own[t]
+            if not own_ready(r, ptr):
+                return None
+            schedule.append(r)
+            ptr[p] = t + 1
+        for q, rows in chains:
+            if not force(q, len(rows)):
+                return None
+        return schedule if self._legal(schedule) else None
+
+    def _legal(self, schedule: List[int]) -> bool:
+        """Columnar legality: every read returns the latest preceding write's
+        value (interned ids compare like values; ⊥ is interned too)."""
+        arena = self.arena
+        kind, var, value = arena.kind, arena.var, arena.value
+        bottom = arena.bottom_id
+        last: Dict[int, int] = {}
+        for row in schedule:
+            v = var[row]
+            if kind[row] == KIND_WRITE:
+                last[v] = value[row]
+            elif last.get(v, bottom) != value[row]:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ArenaBatchChecker criterion={self.criterion!r} "
+            f"ops={len(self.arena)} exact={self._exact}>"
+        )

@@ -115,6 +115,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   "pass the app inside the file, not as flags",
                   file=sys.stderr)
             return 2
+        if getattr(args, "engine", "object") != "object":
+            print("error: --scenario is a complete run specification; "
+                  "set \"engine\" inside the file, not as a flag",
+                  file=sys.stderr)
+            return 2
         try:
             with open(args.scenario, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
@@ -144,6 +149,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             check_policy=args.check_policy,
             exact=_resolve_exactness(args, network),
             keep_history=not args.no_history,
+            engine=args.engine,
             network=network,
             trace_out=args.trace_out,
         )
@@ -706,6 +712,55 @@ def _cmd_place(args: argparse.Namespace) -> int:
     return handlers[args.place_command](args)
 
 
+def _cmd_arena_info(args: argparse.Namespace) -> int:
+    """``repro arena info``: record a run columnar and print the arena's
+    sizes, block occupancy and memory estimate (no checking)."""
+    from .api import Session
+    from .arena import arena_info, format_info
+
+    if args.scenario:
+        from .spec import ScenarioSpec
+
+        try:
+            with open(args.scenario, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read scenario file {args.scenario}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if isinstance(data, dict) and "kind" in data \
+                and isinstance(data.get("spec"), dict):
+            data = data["spec"]
+        spec = ScenarioSpec.from_dict(data)
+        spec.engine = "arena"
+        spec.check.enabled = False
+        session = Session.from_spec(spec)
+    else:
+        dist_params = _parse_params(args.dist_param, "--dist-param")
+        if args.distribution == "random" and not dist_params:
+            dist_params = {"processes": 6, "variables": 8,
+                           "replicas_per_variable": 3}
+        session = Session(
+            protocol=args.protocol,
+            distribution=(args.distribution, dist_params),
+            workload=(args.workload,
+                      _parse_params(args.workload_param, "--workload-param")),
+            seed=args.seed,
+            check=False,
+            engine="arena",
+        )
+    session.run()
+    print(format_info(arena_info(session.recorder.arena)))
+    return 0
+
+
+def _cmd_arena(args: argparse.Namespace) -> int:
+    handlers = {
+        "info": _cmd_arena_info,
+    }
+    return handlers[args.arena_command](args)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: the determinism & plugin-contract static analyzer."""
     import os
@@ -852,6 +907,11 @@ def build_parser() -> argparse.ArgumentParser:
         target.add_argument("--no-history", action="store_true",
                             help="bounded memory: keep no history, stream "
                                  "monitors only")
+        target.add_argument("--engine", choices=("object", "arena"),
+                            default="object",
+                            help="history engine: per-op objects (default) or "
+                                 "the columnar arena (same verdicts, scales "
+                                 "to 10^5+ operations)")
         target.add_argument("--verbose", action="store_true",
                             help="also print the recorded history")
         target.add_argument("--network", default=None,
@@ -1135,6 +1195,32 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run the placement through this protocol "
                                 "and refresh the measured numbers")
 
+    arena = sub.add_parser(
+        "arena",
+        help="columnar history engine introspection (sizes, occupancy, "
+             "memory estimates)")
+    arsub = arena.add_subparsers(dest="arena_command", required=True)
+    ar_info = arsub.add_parser(
+        "info",
+        help="record a run into an OpArena (checking disabled) and print "
+             "its sizes, reachability backend and block occupancy")
+    ar_info.add_argument("--protocol", default="pram_partial")
+    ar_info.add_argument("--seed", type=int, default=0)
+    ar_info.add_argument("--distribution", default="random",
+                         help="distribution family (full_replication, "
+                              "disjoint_blocks, chain, random, neighbourhood)")
+    ar_info.add_argument("--dist-param", action="append", default=None,
+                         metavar="K=V",
+                         help="distribution family parameter (repeatable)")
+    ar_info.add_argument("--workload", default="uniform",
+                         help="workload pattern (uniform, single_writer)")
+    ar_info.add_argument("--workload-param", action="append", default=None,
+                         metavar="K=V",
+                         help="workload pattern parameter (repeatable)")
+    ar_info.add_argument("--scenario", default=None, metavar="FILE",
+                         help="inspect a ScenarioSpec JSON file's run instead "
+                              "of the component flags above")
+
     lint = sub.add_parser(
         "lint",
         help="determinism & plugin-contract static analysis (docs/API.md "
@@ -1173,6 +1259,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "serve": _cmd_serve,
         "place": _cmd_place,
+        "arena": _cmd_arena,
         "lint": _cmd_lint,
     }
     try:

@@ -6,6 +6,7 @@ from typing import Tuple
 
 from ..diagnostics import Rule
 from . import (
+    arena_discipline,
     determinism,
     exception_discipline,
     hunted_data,
@@ -16,6 +17,7 @@ from . import (
 
 _MODULES = (
     determinism,
+    arena_discipline,
     registry_contracts,
     spec_roundtrip,
     mp_hygiene,

@@ -1,0 +1,66 @@
+"""Arena discipline rule (RPR105).
+
+The struct-of-arrays engine (``repro.arena``) exists to keep 10^5–10^6-op
+histories in parallel integer columns; its speed and memory guarantees hold
+only while the hot path never allocates per-operation objects.  The one
+sanctioned int↔object boundary is ``repro.arena.adapter`` — every other
+arena module must stay columnar:
+
+* **RPR105** — constructing :class:`~repro.core.operations.Operation`
+  anywhere in ``repro.arena`` outside the adapter module.  Materialise
+  through ``adapter.materialize_row``/``materialize_prefix`` (which share
+  one cached identity per row) instead of allocating ad hoc.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..diagnostics import Diagnostic, Rule
+from ._names import canonical_call_target, import_aliases
+
+#: The only arena module allowed to call ``Operation(...)``.
+ADAPTER_MODULE = ("repro", "arena", "adapter")
+
+
+def check_operation_construction(context) -> List[Diagnostic]:
+    """RPR105: ``Operation(...)`` calls in ``repro.arena`` outside the adapter."""
+    module = context.module_parts()
+    if len(module) < 2 or module[1] != "arena":
+        return []
+    if module == ADAPTER_MODULE:
+        return []
+    aliases = import_aliases(context.tree)
+    findings: List[Diagnostic] = []
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = canonical_call_target(node, aliases)
+        if target is None or target[-1] != "Operation":
+            continue
+        findings.append(
+            Diagnostic(
+                path=context.path,
+                line=node.lineno,
+                col=node.col_offset,
+                code="RPR105",
+                message=(
+                    "Operation(...) allocated inside repro.arena — the "
+                    "columnar engine must stay object-free; materialise "
+                    "through repro.arena.adapter (the one sanctioned "
+                    "int-to-object boundary) instead"
+                ),
+            )
+        )
+    return findings
+
+
+RULES = (
+    Rule(
+        code="RPR105",
+        summary="no Operation construction in repro.arena outside the adapter",
+        check=check_operation_construction,
+        scope="repro.arena (except repro.arena.adapter)",
+    ),
+)

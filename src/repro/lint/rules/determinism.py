@@ -38,7 +38,7 @@ from ._names import canonical_call_target, import_aliases
 #: The packages whose code runs *inside* the simulation — simulated time and
 #: seeded randomness only (rules RPR103/RPR104).
 SIMULATION_PACKAGES = frozenset(
-    {"core", "mcs", "netsim", "dsm", "hunt", "serve", "workloads"}
+    {"arena", "core", "mcs", "netsim", "dsm", "hunt", "serve", "workloads"}
 )
 
 #: Wall-clock / entropy call targets forbidden inside the simulation.

@@ -63,6 +63,9 @@ class EventQueue:
 
     def _note_cancel(self) -> None:
         self._cancelled += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
         if self._cancelled > self._COMPACT_MIN and self._cancelled * 2 > len(self._heap):
             self._compact()
 
@@ -84,6 +87,39 @@ class EventQueue:
             event._on_cancel = None
             return event
         return None
+
+    def pop_batch(self, limit: Optional[int] = None) -> List[Event]:
+        """Pop the earliest *timestamp cohort*: every live event scheduled at
+        the same instant as the earliest one, in (priority, sequence) order.
+
+        ``limit`` caps how many events leave the queue (the rest of the
+        cohort stays for the next call) so callers can honour an event
+        budget without losing determinism — popping a cohort in one call
+        yields exactly the order repeated :meth:`pop` calls would.
+        """
+        heap = self._heap
+        batch: List[Event] = []
+        time = None
+        while heap:
+            head = heap[0]
+            if head.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            if time is None:
+                time = head.time
+            elif head.time != time:
+                break
+            if limit is not None and len(batch) >= limit:
+                break
+            heapq.heappop(heap)
+            head._on_cancel = None
+            batch.append(head)
+        # Skipping a long run of cancelled entries decrements the counter
+        # without ever compacting; re-check here so a buried backlog cannot
+        # outlive the drain that exposed it.
+        self._maybe_compact()
+        return batch
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None``."""

@@ -72,6 +72,17 @@ class LatencyModel(abc.ABC):
     def sample(self, src: int, dst: int) -> float:
         """Latency of the next message from ``src`` to ``dst``."""
 
+    def sample_many(self, src: int, dsts) -> "list[float]":
+        """Latencies for one message to each of ``dsts``, in order.
+
+        The draw order is exactly ``[sample(src, d) for d in dsts]`` so a
+        multicast consumes the seeded RNG stream identically whether it is
+        sent message-by-message or as one batched call — traces stay
+        bit-for-bit reproducible either way.  Subclasses may override for
+        speed but must preserve that draw order.
+        """
+        return [self.sample(src, d) for d in dsts]
+
     def __call__(self, src: int, dst: int) -> float:
         return self.sample(src, dst)
 
@@ -87,6 +98,9 @@ class ConstantLatency(LatencyModel):
 
     def sample(self, src: int, dst: int) -> float:
         return self.delay
+
+    def sample_many(self, src: int, dsts) -> "list[float]":
+        return [self.delay] * len(dsts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ConstantLatency({self.delay})"
@@ -105,6 +119,10 @@ class UniformLatency(LatencyModel):
 
     def sample(self, src: int, dst: int) -> float:
         return self._rng.uniform(self.low, self.high)
+
+    def sample_many(self, src: int, dsts) -> "list[float]":
+        uniform, low, high = self._rng.uniform, self.low, self.high
+        return [uniform(low, high) for _ in dsts]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"UniformLatency({self.low}, {self.high})"

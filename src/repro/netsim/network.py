@@ -97,24 +97,52 @@ class Network:
             else:
                 self.stats.record_duplicate(message)
 
-            def deliver(msg: Message = message) -> None:
-                msg.delivered_at = self.simulator.now
-                self.stats.record_delivery(msg)
-                if self.record_trace:
-                    self.trace.append(msg)
-                self._nodes[msg.dst].on_message(msg)
+            self._schedule_delivery(message, delivery_time)
 
-            self.simulator.schedule_at(delivery_time, deliver)
+    def _schedule_delivery(self, message: Message, delivery_time: float) -> None:
+        def deliver(msg: Message = message) -> None:
+            msg.delivered_at = self.simulator.now
+            self.stats.record_delivery(msg)
+            if self.record_trace:
+                self.trace.append(msg)
+            self._nodes[msg.dst].on_message(msg)
+
+        self.simulator.schedule_at(delivery_time, deliver)
 
     def multicast(self, src: int, destinations, template: Callable[[int], Message]) -> int:
-        """Send one message per destination (excluding ``src``); returns the count."""
-        sent = 0
-        for dst in sorted(destinations):
-            if dst == src:
-                continue
-            self.send(template(dst))
-            sent += 1
-        return sent
+        """Send one message per destination (excluding ``src``); returns the count.
+
+        On the reliable (model-free) network the per-link latencies of the
+        whole fan-out are drawn in one :meth:`LatencyModel.sample_many` call
+        — same RNG draw order as per-message sends, so traces are unchanged,
+        but a broadcast to *n* peers costs one batched draw instead of *n*
+        dispatches through :meth:`send`.
+        """
+        targets = [dst for dst in sorted(destinations) if dst != src]
+        if not targets:
+            return 0
+        messages = [template(dst) for dst in targets]
+        if self.model is not None or any(
+            m.src != src or m.dst != dst for m, dst in zip(messages, targets)
+        ):
+            for message in messages:
+                self.send(message)
+            return len(messages)
+        now = self.simulator.now
+        delays = self.latency.sample_many(src, targets)
+        for message, delay in zip(messages, delays):
+            if message.dst not in self._nodes:
+                raise SimulationError(f"unknown destination {message.dst}")
+            message.sent_at = now
+            self.stats.record_send(message)
+            delivery_time = now + delay
+            if self.fifo:
+                channel = (message.src, message.dst)
+                floor = self._last_delivery.get(channel, 0.0)
+                delivery_time = max(delivery_time, floor + 1e-9)
+                self._last_delivery[channel] = delivery_time
+            self._schedule_delivery(message, delivery_time)
+        return len(messages)
 
     def broadcast(self, src: int, template: Callable[[int], Message]) -> int:
         """Send one message to every other registered node."""

@@ -123,5 +123,22 @@ class Simulator:
                 raise SimulationError(
                     f"event budget exhausted ({max_events} events) at t={self._now}"
                 )
-            self.step()
-            processed += 1
+            # Drain the whole timestamp cohort in one queue operation.  The
+            # batch is capped by the remaining budget so the exhaustion check
+            # above still fires at exactly the same event count, and events
+            # cancelled by an earlier callback of the same cohort are skipped
+            # exactly as a sequential pop would have skipped them.
+            cap = None if max_events is None else max_events - processed
+            batch = self._queue.pop_batch(cap)
+            if not batch:
+                continue
+            self._now = batch[0].time
+            for event in batch:
+                if event.cancelled:
+                    continue
+                self._processed += 1
+                processed += 1
+                listeners = self._listeners
+                event.callback()
+                for listener in listeners:
+                    listener(event)

@@ -1,0 +1,76 @@
+"""Cross-engine equivalence: ``engine="arena"`` must reproduce ``"object"``.
+
+Every scenario of the committed paper/stress/faults suites is run through
+both session engines and the reports compared.  For finalize-checked points
+the guarantee is full equality — verdict, exactness, the violation strings
+in order, and the set of witnessed views.  The two fail-fast points are the
+documented exception: the object engine's per-operation stream monitors can
+stop a run mid-operation, while the arena engine (which records integers,
+not objects, and therefore does not feed a per-op monitor) stops at the next
+geometric checkpoint — so there only the verdict and the first violation are
+required to agree, not how much of the workload ran before the stop.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import Session
+from repro.experiments import builtin_scenarios
+
+SUITES = ("paper", "stress", "faults")
+
+#: Points whose check policy lets a stream hit stop the run mid-workload;
+#: executed-operation counts (and anything downstream of them) may differ.
+FAIL_FAST_GRANULARITY = {"faults-partition-hoop", "faults-duplication"}
+
+
+def _points():
+    for experiment in builtin_scenarios():
+        if experiment.suite not in SUITES:
+            continue
+        for point in experiment.expand():
+            yield experiment, point
+
+
+POINTS = list(_points())
+
+
+def _point_id(pair):
+    experiment, point = pair
+    spec = point.spec
+    return f"{experiment.name}-{spec.protocol.name}-s{spec.seed}"
+
+
+@pytest.mark.parametrize("pair", POINTS, ids=_point_id)
+def test_engines_agree(pair):
+    experiment, point = pair
+    spec = point.spec
+    reports = {
+        engine: Session.from_spec(replace(spec, engine=engine)).run()
+        for engine in ("object", "arena")
+    }
+    obj, col = reports["object"], reports["arena"]
+
+    assert obj.consistent == col.consistent
+    assert obj.first_violation == col.first_violation
+    assert sorted(obj.results) == sorted(col.results)
+
+    fail_fast = experiment.name in FAIL_FAST_GRANULARITY
+    if fail_fast:
+        assert obj.stopped_early == col.stopped_early
+        return
+
+    assert obj.exact == col.exact
+    assert obj.operations_executed == col.operations_executed
+    assert obj.stopped_early == col.stopped_early
+    for criterion, result_obj in obj.results.items():
+        result_col = col.results[criterion]
+        assert result_obj.consistent == result_col.consistent, criterion
+        assert result_obj.exact == result_col.exact, criterion
+        assert result_obj.violations == result_col.violations, criterion
+        assert sorted(result_obj.serializations) == \
+            sorted(result_col.serializations), criterion
+        for pid, witness in result_obj.serializations.items():
+            assert [op.label() for op in witness] == \
+                [op.label() for op in result_col.serializations[pid]], criterion

@@ -1,0 +1,26 @@
+"""Bad: allocates Operation objects inside the columnar engine."""
+
+from repro.core import operations
+from repro.core.operations import Operation, OpKind
+
+
+def materialize_inline(arena, row):
+    # Ad-hoc construction: breaks the one-identity-per-row cache contract
+    # and puts object allocation back on the 10^5-op hot path.
+    return Operation(
+        kind=OpKind.WRITE,
+        process=arena.proc[row],
+        variable=arena.variable_name(arena.var[row]),
+        value=arena.value_of(arena.value[row]),
+        index=arena.index[row],
+    )
+
+
+def materialize_via_module(arena, row):
+    return operations.Operation(
+        kind=OpKind.READ,
+        process=arena.proc[row],
+        variable=arena.variable_name(arena.var[row]),
+        value=arena.value_of(arena.value[row]),
+        index=arena.index[row],
+    )

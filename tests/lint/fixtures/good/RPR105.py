@@ -1,0 +1,23 @@
+"""Good: arena code stays columnar; materialisation goes through the adapter."""
+
+from typing import Dict, Optional
+
+from repro.arena import adapter
+from repro.core.operations import Operation  # annotations only — never called
+
+
+def labels_of(arena):
+    # Pure column work: integers in, strings out, no objects allocated.
+    return [arena.label(row) for row in range(len(arena))]
+
+
+def materialized(arena, row, cache: Dict[int, Operation]) -> Operation:
+    # The sanctioned boundary: one cached identity per row.
+    return adapter.materialize_row(arena, row, cache)
+
+
+def maybe_source(arena, row, cache: Dict[int, Operation]) -> Optional[Operation]:
+    source = arena.source[row]
+    if source < 0:
+        return None
+    return adapter.materialize_row(arena, source, cache)

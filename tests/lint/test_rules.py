@@ -27,6 +27,7 @@ DESTINATIONS = {
     "RPR102": "src/repro/analysis/snippet.py",
     "RPR103": "src/repro/netsim/snippet.py",
     "RPR104": "src/repro/core/snippet.py",
+    "RPR105": "src/repro/arena/snippet.py",
     "RPR201": "src/repro/mcs/snippet.py",
     "RPR202": "src/repro/workloads/snippet.py",
     "RPR203": "src/repro/mcs/snippet.py",
@@ -171,6 +172,31 @@ def test_serve_service_allowlist_shields_only_service_py(tmp_path, monkeypatch):
     assert diagnostics[0].path.replace(os.sep, "/").endswith(
         "src/repro/serve/monitor.py"
     )
+
+
+def test_arena_adapter_module_is_exempt_from_rpr105(tmp_path):
+    """The adapter IS the sanctioned int-to-object boundary: the very code
+    that fires RPR105 anywhere else in repro.arena is quiet there, and the
+    exemption covers exactly that one module."""
+    for relative in ("src/repro/arena/adapter.py", "src/repro/arena/check.py"):
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(_fixture_path("bad", "RPR105"), target)
+    diagnostics = lint_paths([str(tmp_path)])
+    assert {d.code for d in diagnostics} == {"RPR105"}
+    assert all(
+        d.path.replace(os.sep, "/").endswith("src/repro/arena/check.py")
+        for d in diagnostics
+    )
+
+
+def test_arena_is_wall_clock_scoped(tmp_path):
+    """repro.arena joined the simulation packages: RPR103 fires there."""
+    target = tmp_path / "src/repro/arena/snippet.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(_fixture_path("bad", "RPR103"), target)
+    diagnostics = lint_paths([str(tmp_path)])
+    assert "RPR103" in {d.code for d in diagnostics}
 
 
 def test_run_lint_accepts_prebuilt_contexts(tmp_path):

@@ -1,0 +1,144 @@
+"""Scale and batching tests of the event queue.
+
+The queue's cancelled-entry bookkeeping (live counter + threshold-triggered
+compaction) and the cohort-draining ``pop_batch`` both exist for the 10^5+
+event runs of the arena bench tier; these tests pin their contracts — never
+yield a cancelled event, keep (time, priority, sequence) order bit-identical
+with repeated ``pop`` calls, honour the budget cap, and keep the heap from
+accumulating cancelled garbage across a long, cancellation-heavy drain.
+"""
+
+import random
+
+from repro.netsim.events import EventQueue
+
+
+def drain_order(queue):
+    out = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return out
+        out.append((event.time, event.priority, event.sequence))
+
+
+class TestPopBatch:
+    def test_batch_is_one_timestamp_cohort(self):
+        queue = EventQueue()
+        for time in (2.0, 1.0, 1.0, 3.0, 1.0):
+            queue.push(time, lambda: None)
+        batch = queue.pop_batch()
+        assert [e.time for e in batch] == [1.0, 1.0, 1.0]
+        assert [e.time for e in queue.pop_batch()] == [2.0]
+
+    def test_batch_respects_priority_then_sequence(self):
+        queue = EventQueue()
+        low = queue.push(1.0, lambda: None, priority=1)
+        first = queue.push(1.0, lambda: None, priority=0)
+        second = queue.push(1.0, lambda: None, priority=0)
+        batch = queue.pop_batch()
+        assert batch == [first, second, low]
+
+    def test_limit_caps_the_cohort(self):
+        queue = EventQueue()
+        events = [queue.push(1.0, lambda: None) for _ in range(5)]
+        assert queue.pop_batch(limit=2) == events[:2]
+        assert queue.pop_batch(limit=2) == events[2:4]
+        assert queue.pop_batch() == events[4:]
+        assert queue.pop_batch() == []
+
+    def test_cancelled_events_are_skipped_silently(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None)
+        gone = queue.push(1.0, lambda: None)
+        later = queue.push(2.0, lambda: None)
+        gone.cancel()
+        assert queue.pop_batch() == [keep]
+        assert queue.pop_batch() == [later]
+
+    def test_popped_event_cancel_does_not_corrupt_accounting(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        (popped,) = queue.pop_batch()
+        assert popped is event
+        popped.cancel()  # already out of the queue: must not touch the counter
+        assert len(queue) == 1
+
+    def test_matches_repeated_pop_bit_for_bit(self):
+        rng = random.Random(42)
+        times = [rng.randrange(20) / 4.0 for _ in range(400)]
+        priorities = [rng.randrange(3) for _ in range(400)]
+        via_pop, via_batch = EventQueue(), EventQueue()
+        for queue in (via_pop, via_batch):
+            events = [
+                queue.push(t, lambda: None, priority=p)
+                for t, p in zip(times, priorities)
+            ]
+            for i in range(0, 400, 7):
+                events[i].cancel()
+        batched = []
+        while True:
+            batch = via_batch.pop_batch(limit=rng.randrange(1, 6))
+            if not batch:
+                break
+            batched.extend((e.time, e.priority, e.sequence) for e in batch)
+        assert batched == drain_order(via_pop)
+
+
+class TestScaleDrain:
+    def test_100k_event_drain_with_heavy_cancellation(self):
+        """10^5 events, ~60% cancelled mid-drain: order stays sorted, no
+        cancelled event is ever yielded, and compaction keeps the heap from
+        retaining the cancelled majority."""
+        rng = random.Random(7)
+        queue = EventQueue()
+        live = []
+        for i in range(100_000):
+            event = queue.push(float(rng.randrange(10_000)), lambda: None,
+                               priority=rng.randrange(2))
+            live.append(event)
+        # Cancel in randomised waves, interleaved with draining.
+        rng.shuffle(live)
+        cancel_iter = iter(live)
+        drained = 0
+        last = None
+        max_heap = 0
+        while True:
+            batch = queue.pop_batch(limit=64)
+            if not batch:
+                break
+            for event in batch:
+                assert not event.cancelled
+                key = (event.time, event.priority, event.sequence)
+                assert last is None or last <= key
+                last = key
+                drained += 1
+            for _ in range(96):  # cancel faster than we drain
+                victim = next(cancel_iter, None)
+                if victim is not None:
+                    victim.cancel()
+            max_heap = max(max_heap, len(queue._heap))
+            # Compaction invariant: once past the threshold, cancelled
+            # entries may never outnumber the live half of the heap.
+            assert (queue._cancelled <= EventQueue._COMPACT_MIN
+                    or queue._cancelled * 2 <= len(queue._heap))
+        assert 0 < drained < 100_000
+        assert len(queue) == 0
+        assert len(queue._heap) <= EventQueue._COMPACT_MIN
+
+    def test_len_stays_consistent_under_cancellation(self):
+        queue = EventQueue()
+        events = [queue.push(float(i % 50), lambda: None) for i in range(1_000)]
+        for event in events[::3]:
+            event.cancel()
+        expected = sum(1 for e in events if not e.cancelled)
+        assert len(queue) == expected
+        popped = 0
+        while True:
+            batch = queue.pop_batch(limit=10)
+            if not batch:
+                break
+            popped += len(batch)
+        assert popped == expected
+        assert len(queue) == 0
